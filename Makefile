@@ -1,0 +1,23 @@
+.PHONY: install test bench experiments figures clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper artifact (slow: ~20 minutes at default scales).
+experiments:
+	python -m repro.cli run all --out experiment_reports.txt
+
+figures:
+	python -m repro.cli run fig9 --svg-dir figures
+	python -m repro.cli run fig2 --svg-dir figures
+	python -m repro.cli run fig10 --svg-dir figures
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,25 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper artifact at a reduced scale and
+prints the resulting rows, so a benchmark log doubles as a reproduction
+log.  ``benchmark.pedantic`` with a single round is used because each
+"iteration" is a full trace-driven simulation, not a microsecond kernel
+(the micro-benchmarks in test_bench_micro.py cover the hot paths).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import clear_cache, get_experiment
+
+
+def run_experiment_benchmark(benchmark, experiment_id, **kwargs):
+    """Benchmark one experiment end-to-end and print its report."""
+
+    def target():
+        clear_cache()
+        return get_experiment(experiment_id).run(**kwargs)
+
+    report = benchmark.pedantic(target, rounds=1, iterations=1)
+    print()
+    print(report.to_text())
+    return report

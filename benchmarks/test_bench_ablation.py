@@ -1,0 +1,157 @@
+"""Ablation benchmarks for RoLo's design choices (DESIGN.md §6).
+
+Each ablation isolates one mechanism the paper credits for RoLo's wins:
+
+* decentralized vs centralized destaging at equal logging capacity;
+* the idle-grace threshold of the destage pump;
+* the rotation threshold;
+* the number of simultaneously on-duty loggers;
+* RoLo-E's popular-block read cache.
+"""
+
+import dataclasses
+
+from repro.core import ArrayConfig, build_controller, run_trace
+from repro.sim import Simulator
+from repro.traces import build_workload_trace
+
+KB = 1024
+
+SCALE = 0.02
+PAIRS = 8
+
+
+def run_once(scheme, trace, config):
+    sim = Simulator()
+    controller = build_controller(scheme, sim, config)
+    metrics = run_trace(controller, trace)
+    controller.assert_consistent()
+    return metrics
+
+
+def base_config(**overrides):
+    config = ArrayConfig(n_pairs=PAIRS).scaled(SCALE)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+def test_ablation_decentralized_vs_centralized_destage(benchmark):
+    """RoLo-P vs GRAID given the SAME total log capacity.
+
+    GRAID's dedicated disk holds the whole budget; RoLo spreads it across
+    mirrors.  The rotated design should spin far fewer disks.
+    """
+    trace = build_workload_trace("src2_2", scale=SCALE)
+
+    def target():
+        cfg = base_config()
+        total_log = cfg.free_space_bytes  # one on-duty region at a time
+        graid_cfg = dataclasses.replace(
+            cfg, graid_log_capacity_bytes=total_log
+        )
+        return (
+            run_once("rolo-p", trace, cfg),
+            run_once("graid", trace, graid_cfg),
+        )
+
+    rolo, graid = benchmark.pedantic(target, rounds=1, iterations=1)
+    print(
+        f"\nequal-capacity logs: rolo-p spins={rolo.spin_cycle_count} "
+        f"energy={rolo.total_energy_j / 1e3:.1f}kJ vs graid "
+        f"spins={graid.spin_cycle_count} "
+        f"energy={graid.total_energy_j / 1e3:.1f}kJ"
+    )
+    assert rolo.spin_cycle_count < graid.spin_cycle_count
+
+
+def test_ablation_idle_grace(benchmark):
+    """Destage pump grace: 0 (eager) vs 50ms vs 1s (timid)."""
+    trace = build_workload_trace("src2_2", scale=SCALE)
+
+    def target():
+        return {
+            grace: run_once(
+                "rolo-p", trace, base_config(idle_grace_s=grace)
+            )
+            for grace in (0.0, 0.05, 1.0)
+        }
+
+    results = benchmark.pedantic(target, rounds=1, iterations=1)
+    print()
+    for grace, metrics in results.items():
+        print(
+            f"grace={grace:5.2f}s rt={metrics.mean_response_time_ms:7.3f}ms "
+            f"energy={metrics.total_energy_j / 1e3:8.1f}kJ"
+        )
+    # All variants complete the same work.
+    counts = {m.requests for m in results.values()}
+    assert len(counts) == 1
+
+
+def test_ablation_rotate_threshold(benchmark):
+    """Earlier rotation => more rotations, same consistency."""
+    trace = build_workload_trace("src2_2", scale=SCALE)
+
+    def target():
+        out = {}
+        for threshold in (0.5, 0.8, 0.95):
+            sim = Simulator()
+            controller = build_controller(
+                "rolo-p",
+                sim,
+                base_config(rotate_threshold=threshold),
+            )
+            run_trace(controller, trace)
+            controller.assert_consistent()
+            out[threshold] = controller.metrics.rotations
+        return out
+
+    rotations = benchmark.pedantic(target, rounds=1, iterations=1)
+    print(f"\nrotations by threshold: {rotations}")
+    assert rotations[0.5] >= rotations[0.95]
+
+
+def test_ablation_multiple_on_duty_loggers(benchmark):
+    """n_on_duty=2 spreads the append stream over two mirrors."""
+    trace = build_workload_trace("src2_2", scale=SCALE)
+
+    def target():
+        return {
+            n: run_once("rolo-p", trace, base_config(n_on_duty=n))
+            for n in (1, 2)
+        }
+
+    results = benchmark.pedantic(target, rounds=1, iterations=1)
+    print()
+    for n, metrics in results.items():
+        print(
+            f"on_duty={n} rt={metrics.mean_response_time_ms:7.3f}ms "
+            f"power={metrics.mean_power_w:6.1f}W"
+        )
+    # A second spinning logger must cost energy.
+    assert (
+        results[2].total_energy_j > results[1].total_energy_j * 0.99
+    )
+
+
+def test_ablation_rolo_e_read_cache(benchmark):
+    """RoLo-E with vs without the popular-block cache on a ready trace."""
+    trace = build_workload_trace("proj_0", scale=0.005)
+
+    def target():
+        return {
+            enabled: run_once(
+                "rolo-e", trace, base_config(read_cache=enabled)
+            )
+            for enabled in (True, False)
+        }
+
+    results = benchmark.pedantic(target, rounds=1, iterations=1)
+    print()
+    for enabled, metrics in results.items():
+        print(
+            f"cache={enabled!s:5} hit_rate={metrics.read_hit_rate:.2%} "
+            f"rt={metrics.mean_response_time_ms:8.2f}ms"
+        )
+    assert results[True].read_hit_rate >= results[False].read_hit_rate

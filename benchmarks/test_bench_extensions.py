@@ -1,0 +1,52 @@
+"""Benchmarks for the extension experiments (recovery, idle slots, RAID5)."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_recovery_drill(benchmark):
+    report = run_experiment_benchmark(
+        benchmark, "ext-recovery", scale=0.01, n_pairs=6
+    )
+    table = report.tables[0]
+    rows = {
+        (row[0], row[1]): row for row in table.rows
+    }
+    # The §III-C claims.
+    assert rows[("graid", "primary")][2] == 6  # all mirrors woken
+    assert rows[("rolo-p", "primary")][2] < rows[("graid", "primary")][2]
+    assert rows[("rolo-r", "primary")][2] <= 1
+    assert rows[("raid10", "primary")][2] == 0
+    assert all(row[4] for row in table.rows)  # logging never stops
+
+
+def test_idle_slot_analysis(benchmark):
+    report = run_experiment_benchmark(
+        benchmark,
+        "ext-idleslots",
+        scale=0.01,
+        iops_levels=(10, 100),
+        duration_s=400.0,
+    )
+    table = report.tables[0]
+    # The §II claim: the overwhelming majority of idle slots are shorter
+    # than the break-even time.
+    below = table.column("below_break_even")
+    assert all(fraction > 0.9 for fraction in below)
+
+
+def test_raid5_small_write_study(benchmark):
+    report = run_experiment_benchmark(
+        benchmark,
+        "ext-raid5",
+        scale=0.01,
+        n_disks=6,
+        iops_levels=(20, 50),
+        request_kb=(8,),
+        duration_s=120.0,
+    )
+    table = report.tables[0]
+    speedups = table.column("speedup")
+    # RoLo-5 must beat plain RAID5 on small writes at every intensity.
+    assert all(s > 1.0 for s in speedups)
+    # And its advantage grows as the array gets busier.
+    assert speedups[-1] >= speedups[0]

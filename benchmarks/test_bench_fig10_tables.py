@@ -1,0 +1,90 @@
+"""Benchmark: regenerate Figure 10 and Tables I/IV/V (main comparison).
+
+The three tables are projections of the same memoized runs, so they are
+generated in one benchmark to mirror how the paper derives them.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import clear_cache, get_experiment
+
+SCALE = {"src2_2": 0.03, "proj_0": 0.01}
+
+
+def test_fig10_main_comparison(benchmark):
+    def target():
+        clear_cache()
+        reports = {}
+        for workload, scale in SCALE.items():
+            reports[workload] = get_experiment("fig10").run(
+                scale=scale, n_pairs=10, workloads=(workload,)
+            )
+        return reports
+
+    reports = benchmark.pedantic(target, rounds=1, iterations=1)
+    for workload, report in reports.items():
+        print()
+        print(report.to_text())
+        energy = report.get_table(
+            "Fig 10(a): energy consumption (normalized to RAID10)"
+        )
+        headers = energy.headers
+        row = dict(zip(headers, energy.rows[0]))
+        # Paper shape: every logging scheme saves energy; RoLo-E saves most.
+        assert row["graid"] < 1.0
+        assert row["rolo-p"] < 1.0
+        assert row["rolo-e"] == min(
+            row[s] for s in ("graid", "rolo-p", "rolo-r", "rolo-e")
+        )
+        # RoLo-P no worse than GRAID.
+        assert row["rolo-p"] <= row["graid"] * 1.02
+
+        rt = report.get_table(
+            "Fig 10(b): average response time (normalized to RAID10)"
+        )
+        rt_row = dict(zip(rt.headers, rt.rows[0]))
+        # GRAID and RoLo-P track RAID10 within ~15% at benchmark scale.
+        assert rt_row["graid"] < 1.2
+        assert rt_row["rolo-p"] < 1.2
+
+
+def test_table1_spin_counts(benchmark):
+    def target():
+        # Reuses the fig10 cache when run in the same session; standalone
+        # it recomputes.
+        return {
+            workload: get_experiment("table1").run(
+                scale=scale, n_pairs=10, workloads=(workload,)
+            )
+            for workload, scale in SCALE.items()
+        }
+
+    reports = benchmark.pedantic(target, rounds=1, iterations=1)
+    for workload, report in reports.items():
+        print()
+        print(report.to_text())
+        table = report.tables[0]
+        row = dict(zip(table.headers, table.rows[0]))
+        # Table I ordering: RAID10 = 0 < RoLo-P/R < GRAID < RoLo-E.
+        assert row["raid10"] == 0
+        assert 0 < row["rolo-p"] < row["graid"]
+        assert row["rolo-r"] < row["graid"]
+        assert row["rolo-e"] > row["graid"]
+
+
+def test_table4_table5_summaries(benchmark):
+    def target():
+        # table4/table5 pull from the same memoized run set.
+        t4 = get_experiment("table4").run(scale=0.01, n_pairs=10)
+        t5 = get_experiment("table5").run(scale=0.01, n_pairs=10)
+        return t4, t5
+
+    t4, t5 = benchmark.pedantic(target, rounds=1, iterations=1)
+    print()
+    print(t4.to_text())
+    print()
+    print(t5.to_text())
+    summary = t4.tables[0]
+    for row in summary.rows:
+        scheme, workload = row[0], row[1]
+        saved_vs_raid10 = row[2]
+        assert saved_vs_raid10 > 0, f"{scheme} must save energy vs RAID10"

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 13 (free-space sensitivity)."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fig13_free_space_sensitivity(benchmark):
+    report = run_experiment_benchmark(
+        benchmark,
+        "fig13",
+        scale=0.02,
+        n_pairs=6,
+        free_space_gb=(8, 6, 4),
+        workloads=("src2_2",),
+    )
+    table = report.tables[0]
+    rotations = report.get_table(
+        "rotations per run (the paper's explanation)"
+    )
+    # Paper explanation: less free space => more rotations.
+    rp = rotations.column("rolo-p")
+    assert rp[-1] >= rp[0]
+    # Paper shape: savings over GRAID decline as free space shrinks (more
+    # frequent rotations = more spin activity), and are positive at the
+    # full 8 GB setting.
+    savings = table.column("rolo-p")
+    assert savings == sorted(savings, reverse=True)
+    assert savings[0] > 0

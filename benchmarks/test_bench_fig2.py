@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 2 (logger capacity study, GRAID)."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fig2_logger_capacity_study(benchmark):
+    report = run_experiment_benchmark(
+        benchmark,
+        "fig2",
+        scale=0.02,
+        iops_levels=(10, 50, 100, 200),
+        capacities_gb=(8, 12, 16),
+        target_cycles=2,
+    )
+    intervals = report.get_table("Fig 2(a): mean interval lengths (s)")
+    assert intervals is not None and intervals.rows
+    # Paper shape: logging interval grows roughly with logger capacity for
+    # a fixed intensity.
+    by_iops = {}
+    for iops, cap, logging, _ in intervals.rows:
+        by_iops.setdefault(iops, []).append((cap, logging))
+    for iops, points in by_iops.items():
+        points.sort()
+        values = [v for _, v in points]
+        assert values == sorted(values), f"iops={iops}: {values}"

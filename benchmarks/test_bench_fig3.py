@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (idle time-slot availability)."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fig3_idle_fractions(benchmark):
+    report = run_experiment_benchmark(
+        benchmark, "fig3", scale=0.02, duration_s=600.0
+    )
+    table = report.get_table("Fig 3: duty fractions")
+    assert table is not None
+    # Paper shape: idleness dominates at every intensity and decreases
+    # with IOPS.
+    idle = table.column("primary_idle")
+    assert all(f > 0.5 for f in idle)
+    assert idle == sorted(idle, reverse=True)

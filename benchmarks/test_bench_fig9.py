@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 9 (MTTDL vs MTTR)."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fig9_mttdl_sweep(benchmark):
+    report = run_experiment_benchmark(benchmark, "fig9")
+    table = report.get_table("Fig 9: MTTDL (years, closed forms)")
+    assert table is not None and len(table.rows) == 7
+    # Paper ordering at every MTTR point.
+    for row in table.rows:
+        _, rolo_r, raid10, rolo_p, graid = row
+        assert rolo_r > raid10 > rolo_p > graid

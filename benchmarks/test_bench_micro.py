@@ -1,0 +1,85 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+These are conventional pytest-benchmark kernels (many iterations) covering
+the engine, the disk server, the layout math and the log-space manager —
+the four components every simulated I/O touches.
+"""
+
+import random
+
+from repro.core.logspace import LogRegion
+from repro.disk.disk import Disk, DiskOp, OpKind
+from repro.disk.models import ULTRASTAR_36Z15
+from repro.raid.layout import Raid10Layout
+from repro.sim import Simulator
+
+KB = 1024
+MB = 1024 * KB
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule + dispatch cost of the event heap."""
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_disk_random_io_throughput(benchmark):
+    """Full service path of random 64K writes on one disk."""
+    rng = random.Random(1)
+    sectors = ULTRASTAR_36Z15.capacity_sectors
+    offsets = [rng.randrange(sectors - 200) for _ in range(2_000)]
+
+    def run():
+        sim = Simulator()
+        disk = Disk(sim, ULTRASTAR_36Z15, "D")
+        for sector in offsets:
+            disk.submit(DiskOp(OpKind.WRITE, sector, 64 * KB))
+        sim.run()
+        return disk.ops_completed
+
+    assert benchmark(run) == 2_000
+
+
+def test_layout_mapping_throughput(benchmark):
+    layout = Raid10Layout(20, 64 * KB, 512 * MB, spread=True)
+    rng = random.Random(2)
+    extents = [
+        (rng.randrange(layout.logical_capacity - MB), rng.randrange(1, MB))
+        for _ in range(5_000)
+    ]
+
+    def run():
+        total = 0
+        for offset, nbytes in extents:
+            total += len(layout.map_extent(offset, nbytes))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_logspace_append_reclaim_throughput(benchmark):
+    def run():
+        region = LogRegion("bench", 0, 64 * MB)
+        for epoch in range(8):
+            for i in range(200):
+                region.append(32 * KB, {i % 4: 32 * KB}, epoch)
+            for pair in range(4):
+                region.reclaim(pair, epoch)
+        region.reclaim_all()
+        return region.used
+
+    assert benchmark(run) == 0

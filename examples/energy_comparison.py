@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Five-scheme energy/performance comparison on the paper's main traces.
+
+Run with::
+
+    python examples/energy_comparison.py [--scale 0.05] [--pairs 20]
+
+This is the programmatic version of ``rolo run fig10``: it replays
+calibrated replicas of the MSR Cambridge src2_2 and proj_0 traces through
+RAID10, GRAID and RoLo-P/R/E, then prints Figure 10's normalized energy
+and response-time panels plus the Table I spin counts.
+"""
+
+import argparse
+
+from repro.experiments.runner import run_scheme_set
+
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="trace time-scale (default: per-workload)")
+    parser.add_argument("--pairs", type=int, default=20)
+    args = parser.parse_args()
+
+    for workload in ("src2_2", "proj_0"):
+        print(f"\n=== {workload} ({2 * args.pairs} disks) ===")
+        results = run_scheme_set(
+            workload, SCHEMES, scale=args.scale, n_pairs=args.pairs
+        )
+        base = results["raid10"]
+        print(
+            f"{'scheme':8s} {'rt (ms)':>10s} {'rt/RAID10':>10s} "
+            f"{'power (W)':>10s} {'saved':>7s} {'spins':>6s} {'hit%':>6s}"
+        )
+        for scheme in SCHEMES:
+            m = results[scheme]
+            saved = 1 - m.total_energy_j / base.total_energy_j
+            print(
+                f"{scheme:8s} {m.mean_response_time_ms:10.2f} "
+                f"{m.response_time.mean / base.response_time.mean:10.2f} "
+                f"{m.mean_power_w:10.1f} {saved:7.1%} "
+                f"{m.spin_cycle_count:6d} {m.read_hit_rate:6.1%}"
+            )
+
+
+if __name__ == "__main__":
+    main()

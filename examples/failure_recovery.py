@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Failure-recovery drill: who wakes up when a disk dies? (paper §III-C)
+
+Run with::
+
+    python examples/failure_recovery.py
+
+Primes every scheme with the same write stream, then fails (a) a primary
+disk and (b) a mirrored disk, and reports how many sleeping disks each
+scheme must spin up to rebuild — the paper's argument for why RoLo-P's
+MTTDL beats GRAID's in Figure 9 — plus the measured rebuild times.
+It also demonstrates §III-D's logging-service continuity: when RoLo-P's
+on-duty logger fails, the next mirror takes over immediately.
+"""
+
+from repro.core import (
+    ArrayConfig,
+    RecoveryProcess,
+    build_controller,
+    plan_recovery,
+)
+from repro.core.base import run_trace as run_trace_base
+from repro.sim import Simulator
+from repro.traces import build_workload_trace
+
+MB = 1024 * 1024
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+
+
+def drill(scheme: str, failure_role: str) -> str:
+    sim = Simulator()
+    config = ArrayConfig(n_pairs=10).scaled(0.01)
+    controller = build_controller(scheme, sim, config)
+    trace = build_workload_trace("src2_2", scale=0.01)
+    run_trace_base(controller, trace, drain=False)
+
+    victim = controller.disks_by_role()[failure_role][0]
+    plan = plan_recovery(controller, victim)
+    plan.rebuild_bytes = 512 * MB  # uniform rebuild volume for comparison
+    process = RecoveryProcess(sim, controller, plan)
+    process.start()
+    sim.run()
+    continuity = "yes" if plan.logging_continues else "NO"
+    return (
+        f"{scheme:8s} {failure_role:8s} woke {plan.disks_woken:2d} disks, "
+        f"rebuilt in {process.rebuild_time:6.1f}s, "
+        f"logging continues: {continuity}"
+    )
+
+
+def main() -> None:
+    print("Failing the first PRIMARY disk of each scheme:")
+    for scheme in SCHEMES:
+        print("  " + drill(scheme, "primary"))
+    print("\nFailing the first MIRROR disk of each scheme:")
+    for scheme in SCHEMES:
+        print("  " + drill(scheme, "mirror"))
+    print(
+        "\nNote how GRAID's centralized log forces every mirror awake for "
+        "a primary rebuild,\nwhile RoLo-P wakes only the mirrors that "
+        "still hold live log copies, and RoLo-R\n(whose third copy lives "
+        "on an always-on primary) wakes just the pair partner."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""rolo-repro: a full reproduction of RoLo (ICDCS 2010).
+
+Public API highlights:
+
+* :mod:`repro.sim` — discrete-event engine.
+* :mod:`repro.disk` — disk mechanical + power simulator.
+* :mod:`repro.raid` — RAID10 address math and logical requests.
+* :mod:`repro.traces` — MSR-format parsing and calibrated synthetic traces.
+* :mod:`repro.core` — the RoLo-P/R/E controllers and the RAID10/GRAID
+  baselines, plus :func:`repro.core.run_trace`.
+* :mod:`repro.reliability` — MTTDL analysis (paper §IV).
+* :mod:`repro.experiments` — one registered experiment per paper figure and
+  table.
+"""
+
+__version__ = "1.0.0"

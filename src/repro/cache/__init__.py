@@ -1,0 +1,5 @@
+"""Cache substrate (used by RoLo-E's popular-block read cache)."""
+
+from repro.cache.lru import LRUCache
+
+__all__ = ["LRUCache"]

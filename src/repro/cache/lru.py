@@ -1,0 +1,74 @@
+"""A capacity-bounded LRU cache over hashable keys.
+
+RoLo-E uses one of these to track which read blocks are currently replicated
+in the on-duty logging space (§III-B3): hits are served by the spinning
+logger pair, misses force a spin-up of the block's home disk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Ordered-dict LRU with hit/miss/eviction statistics."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        """Membership test; does NOT update recency or statistics."""
+        return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def get(self, key: K) -> Optional[V]:
+        """Look up ``key``, updating recency and hit/miss counters."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: K, value: V) -> Optional[Tuple[K, V]]:
+        """Insert/refresh ``key``; returns the evicted (key, value), if any."""
+        if self.capacity == 0:
+            return None
+        evicted: Optional[Tuple[K, V]] = None
+        if key in self._data:
+            self._data.move_to_end(key)
+        elif len(self._data) >= self.capacity:
+            evicted = self._data.popitem(last=False)
+            self.evictions += 1
+        self._data[key] = value
+        return evicted
+
+    def discard(self, key: K) -> bool:
+        """Remove ``key`` if present (no statistics impact)."""
+        if key in self._data:
+            del self._data[key]
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0

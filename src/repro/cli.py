@@ -1,0 +1,168 @@
+"""Command-line interface: ``rolo`` (or ``python -m repro.cli``).
+
+Subcommands::
+
+    rolo list                         # available experiments + workloads
+    rolo run fig10 [--scale 0.05]     # reproduce one paper artifact
+    rolo run all                      # everything (slow)
+    rolo trace-info src2_2            # characterize a workload replica
+    rolo mttdl --mttr-days 3          # reliability numbers
+    rolo simulate rolo-p src2_2       # one scheme x workload run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.runner import simulate_workload
+from repro.reliability import mttdl_closed_form, mttdl_ctmc
+from repro.reliability.mttdl import HOURS_PER_DAY, HOURS_PER_YEAR
+from repro.traces import PAPER_WORKLOADS, build_workload_trace, characterize
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for exp in list_experiments():
+        print(f"  {exp.experiment_id:14s} {exp.title}  [{exp.paper_ref}]")
+    print("\nworkloads:")
+    for name, preset in sorted(PAPER_WORKLOADS.items()):
+        print(
+            f"  {name:10s} write={preset.write_ratio * 100:6.2f}%  "
+            f"iops={preset.iops:6.2f}  "
+            f"avg={preset.avg_request_bytes / 1024:6.2f}KB"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        ids = [e.experiment_id for e in list_experiments()]
+    else:
+        ids = [args.experiment]
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        kwargs = {}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if args.pairs is not None:
+            kwargs["n_pairs"] = args.pairs
+        try:
+            report = experiment.run(seed=args.seed, **kwargs)
+        except TypeError:
+            # Analytical experiments (fig9) take no seed/pairs.
+            report = experiment.run(
+                **{k: v for k, v in kwargs.items() if k == "scale"}
+            )
+        text = report.to_text()
+        print(text)
+        print()
+        if args.out:
+            with open(args.out, "a") as fh:
+                fh.write(text + "\n\n")
+        if args.svg_dir and report.series:
+            from repro.experiments.svg import report_to_svgs
+
+            for path in report_to_svgs(report, args.svg_dir):
+                print(f"wrote {path}")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    trace = build_workload_trace(args.workload, scale=args.scale)
+    stats = characterize(trace)
+    print(stats.row())
+    print(
+        f"  records={stats.records}  duration={stats.duration_s:.0f}s  "
+        f"footprint={stats.footprint_bytes / 2**20:.0f}MiB  "
+        f"avg_read={stats.avg_read_bytes / 1024:.1f}KB  "
+        f"avg_write={stats.avg_write_bytes / 1024:.1f}KB"
+    )
+    return 0
+
+
+def _cmd_mttdl(args: argparse.Namespace) -> int:
+    mu = 1.0 / (args.mttr_days * HOURS_PER_DAY)
+    print(
+        f"lambda={args.failure_rate}/h  MTTR={args.mttr_days}d  (years)"
+    )
+    for scheme in ("rolo-r", "raid10", "rolo-p", "graid", "rolo-e"):
+        closed = mttdl_closed_form(scheme, args.failure_rate, mu)
+        exact = mttdl_ctmc(scheme, args.failure_rate, mu)
+        print(
+            f"  {scheme:7s} closed={closed / HOURS_PER_YEAR:12.0f}  "
+            f"ctmc={exact / HOURS_PER_YEAR:12.0f}"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    metrics = simulate_workload(
+        args.scheme,
+        args.workload,
+        scale=args.scale,
+        n_pairs=args.pairs or 20,
+        seed=args.seed,
+    )
+    print(metrics.summary())
+    print(
+        f"  rotations={metrics.rotations}  destage_cycles="
+        f"{metrics.destage_cycles}  logged={metrics.logged_bytes / 2**20:.0f}MiB  "
+        f"destaged={metrics.destaged_bytes / 2**20:.0f}MiB  "
+        f"read_hit_rate={metrics.read_hit_rate:.2%}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rolo",
+        description="RoLo (ICDCS 2010) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads").set_defaults(
+        fn=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="run a paper experiment")
+    run_p.add_argument("experiment", help="experiment id or 'all'")
+    run_p.add_argument("--scale", type=float, default=None)
+    run_p.add_argument("--pairs", type=int, default=None)
+    run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument("--out", help="append report text to this file")
+    run_p.add_argument(
+        "--svg-dir", help="also render the report's series to SVG charts"
+    )
+    run_p.set_defaults(fn=_cmd_run)
+
+    info_p = sub.add_parser("trace-info", help="characterize a workload")
+    info_p.add_argument("workload")
+    info_p.add_argument("--scale", type=float, default=0.05)
+    info_p.set_defaults(fn=_cmd_trace_info)
+
+    mttdl_p = sub.add_parser("mttdl", help="reliability numbers")
+    mttdl_p.add_argument("--mttr-days", type=float, default=3.0)
+    mttdl_p.add_argument("--failure-rate", type=float, default=1e-5)
+    mttdl_p.set_defaults(fn=_cmd_mttdl)
+
+    sim_p = sub.add_parser("simulate", help="one scheme x workload run")
+    sim_p.add_argument("scheme")
+    sim_p.add_argument("workload")
+    sim_p.add_argument("--scale", type=float, default=None)
+    sim_p.add_argument("--pairs", type=int, default=None)
+    sim_p.add_argument("--seed", type=int, default=42)
+    sim_p.set_defaults(fn=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

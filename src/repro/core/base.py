@@ -1,0 +1,240 @@
+"""Controller base class and the trace replay driver."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import ArrayConfig
+from repro.core.metrics import RunMetrics
+from repro.disk.disk import Disk, DiskOp, OpKind, Priority, Scheduler
+from repro.disk.power import PowerState
+from repro.raid.request import IORequest
+from repro.sim.engine import Simulator
+from repro.traces.record import Trace
+
+
+class Controller(abc.ABC):
+    """Base class of all array controllers (RAID10, GRAID, RoLo-P/R/E).
+
+    A controller owns its disks, translates logical
+    :class:`~repro.raid.request.IORequest` objects into disk operations, and
+    implements the scheme's power policy.  Subclasses must implement
+    :meth:`submit`, :meth:`_build_disks` and :meth:`disks_by_role`.
+    """
+
+    scheme_name = "abstract"
+
+    def __init__(self, sim: Simulator, config: ArrayConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.layout = config.layout()
+        self.metrics = RunMetrics()
+        self._finalized = False
+        self._pending_sleep: Dict[Disk, Callable[[Disk], None]] = {}
+        self._build_disks()
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build_disks(self) -> None:
+        """Create the scheme's disks in their initial power states."""
+
+    @abc.abstractmethod
+    def submit(self, request: IORequest) -> None:
+        """Issue one logical request.  The controller must eventually drive
+        ``request`` to completion via its fan-in counters."""
+
+    @abc.abstractmethod
+    def disks_by_role(self) -> Dict[str, List[Disk]]:
+        """Disks grouped by role ('primary', 'mirror', 'log')."""
+
+    def drain(self) -> None:
+        """Flush all inconsistent state (called after the trace completes,
+        outside the measured window).  Default: nothing to flush."""
+
+    def dirty_units_total(self) -> int:
+        """Stripe units whose mirrored copy is stale.  Used by consistency
+        tests; schemes without logging return 0."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def all_disks(self) -> List[Disk]:
+        return [d for disks in self.disks_by_role().values() for d in disks]
+
+    def _make_disk(
+        self, name: str, standby: bool = False
+    ) -> Disk:
+        initial = PowerState.STANDBY if standby else PowerState.IDLE
+        return Disk(
+            self.sim,
+            self.config.disk,
+            name,
+            initial_state=initial,
+            scheduler=Scheduler(self.config.disk_scheduler),
+        )
+
+    def _issue(
+        self,
+        disk: Disk,
+        kind: OpKind,
+        offset: int,
+        nbytes: int,
+        request: Optional[IORequest] = None,
+        priority: Priority = Priority.FOREGROUND,
+        sequential: bool = False,
+        on_complete: Optional[Callable[[DiskOp], None]] = None,
+    ) -> DiskOp:
+        """Submit one disk op, optionally tied to a request's fan-in."""
+        if request is not None:
+            request.add_waits()
+
+            def _done(op: DiskOp, _cb=on_complete) -> None:
+                if _cb is not None:
+                    _cb(op)
+                request.op_done(self.sim.now)
+
+            callback: Optional[Callable[[DiskOp], None]] = _done
+        else:
+            callback = on_complete
+        op = DiskOp(
+            kind,
+            offset // 512,
+            nbytes,
+            priority=priority,
+            on_complete=callback,
+            sequential_hint=sequential,
+        )
+        disk.submit(op)
+        return op
+
+    def total_energy_now(self) -> float:
+        """Instantaneous cumulative energy across all disks (joules)."""
+        now = self.sim.now
+        return sum(d.power.energy_at(now) for d in self.all_disks())
+
+    def _sleep_when_quiet(self, disk: Disk) -> None:
+        """Spin ``disk`` down now or as soon as it drains."""
+        if disk in self._pending_sleep:
+            return
+        if disk.request_spin_down():
+            return
+
+        def _listener(d: Disk) -> None:
+            if d.request_spin_down():
+                self._cancel_sleep(d)
+
+        self._pending_sleep[disk] = _listener
+        disk.add_idle_listener(_listener)
+
+    def _cancel_sleep(self, disk: Disk) -> None:
+        """Withdraw a pending sleep request (e.g. the disk went on duty)."""
+        listener = self._pending_sleep.pop(disk, None)
+        if listener is not None:
+            disk.remove_idle_listener(listener)
+
+    def finalize(self) -> RunMetrics:
+        """Close accounting at the current instant and return the metrics.
+
+        Idempotent: the first call fixes the measurement window and takes a
+        snapshot, so post-window flush activity (``drain``) never leaks
+        into the reported counters.
+        """
+        if not self._finalized:
+            self.metrics.finalize(self.sim.now, self.disks_by_role())
+            self._metrics_snapshot = self.metrics.snapshot()
+            self._finalized = True
+        return self._metrics_snapshot
+
+    def assert_consistent(self) -> None:
+        """Raise AssertionError if any mirrored data is still stale."""
+        dirty = self.dirty_units_total()
+        if dirty:
+            raise AssertionError(
+                f"{self.scheme_name}: {dirty} stripe units still dirty"
+            )
+
+
+class TraceDriver:
+    """Replays a trace against a controller with open-loop arrivals."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: Controller,
+        trace: Trace,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.trace = trace
+        self.on_complete = on_complete
+        self._iter = iter(trace)
+        self._outstanding = 0
+        self._dispatched = 0
+        self._arrivals_done = False
+        self.completed_at: float = -1.0
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        record = next(self._iter, None)
+        if record is None:
+            self._arrivals_done = True
+            self._check_done()
+            return
+        self.sim.at(record.timestamp, self._arrive, record, label="arrival")
+
+    def _arrive(self, record) -> None:
+        request = IORequest(
+            record.kind,
+            record.offset,
+            record.nbytes,
+            arrival_time=self.sim.now,
+            on_complete=self._request_done,
+        )
+        self._outstanding += 1
+        self._dispatched += 1
+        self.controller.submit(request)
+        self._schedule_next()
+
+    def _request_done(self, request: IORequest) -> None:
+        self.controller.metrics.record_response(
+            request.is_write, request.response_time
+        )
+        self._outstanding -= 1
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if self._arrivals_done and self._outstanding == 0:
+            if self.completed_at < 0:
+                self.completed_at = self.sim.now
+                if self.on_complete is not None:
+                    self.on_complete()
+
+
+def run_trace(
+    controller: Controller, trace: Trace, drain: bool = True
+) -> RunMetrics:
+    """Replay ``trace`` against ``controller`` and return its metrics.
+
+    The measurement window closes when the last request completes; the
+    post-trace flush (``drain=True``) brings mirrors consistent *outside*
+    the window so schemes are compared over identical horizons.
+    """
+    sim = controller.sim
+    driver = TraceDriver(
+        sim, controller, trace, on_complete=controller.finalize
+    )
+    driver.start()
+    sim.run()
+    if driver.completed_at < 0:
+        raise RuntimeError("trace replay did not complete")
+    if drain:
+        controller.drain()
+        sim.run()
+    return controller.finalize()

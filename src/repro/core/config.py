@@ -1,0 +1,130 @@
+"""Array configuration shared by all controllers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.disk.models import ULTRASTAR_36Z15, DiskSpec
+from repro.raid.layout import Raid10Layout
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayConfig:
+    """Static configuration of one simulated array.
+
+    Defaults mirror the paper's main setup (§V-A): Ultrastar 36Z15 drives,
+    64 KB stripe unit, 8 GB of per-disk free (logging) space, a 16 GB
+    dedicated GRAID log disk, and an 80% destage/rotation threshold.
+    Experiments usually apply :meth:`scaled` to shrink the capacity-derived
+    quantities together with the trace horizon (DESIGN.md §3).
+    """
+
+    n_pairs: int = 20
+    stripe_unit: int = 64 * KB
+    disk: DiskSpec = ULTRASTAR_36Z15
+    #: Per-disk logging-region capacity for RoLo (the "free storage space").
+    free_space_bytes: int = 8 * GB
+    #: Capacity of GRAID's dedicated log disk.
+    graid_log_capacity_bytes: int = 16 * GB
+    #: Log occupancy fraction that triggers GRAID's centralized destage.
+    destage_threshold: float = 0.8
+    #: On-duty log occupancy fraction that triggers a RoLo logger rotation.
+    rotate_threshold: float = 0.8
+    #: Fraction of ``rotate_threshold`` at which the *next* on-duty logger
+    #: is proactively spun up, so rotation never stalls behind a spin-up.
+    prewake_fraction: float = 0.5
+    #: Number of simultaneously on-duty loggers in RoLo-P/R/E.
+    n_on_duty: int = 1
+    #: Quiet interval required before a background destage batch is issued.
+    idle_grace_s: float = 0.05
+    #: Maximum bytes moved by one background destage batch.  Small enough
+    #: that an in-service batch never head-of-line-blocks a foreground
+    #: request for more than a few milliseconds.
+    destage_batch_bytes: int = 256 * KB
+    #: RoLo-E: spin a read-miss-woken disk back down after this idle time.
+    standby_return_s: float = 30.0
+    #: RoLo-E: cache popular read blocks in the logging space (§III-B3).
+    read_cache: bool = True
+    #: RoLo-E: fraction of the on-duty log space usable by the read cache.
+    read_cache_fraction: float = 0.3
+    #: Scatter logical stripe rows across the whole data region so in-place
+    #: I/O pays realistic seek distances even for compact trace footprints.
+    spread_data: bool = True
+    #: Per-disk queue scheduling: "fcfs" or "sstf".
+    disk_scheduler: str = "fcfs"
+
+    def __post_init__(self) -> None:
+        if self.n_pairs < 2:
+            raise ValueError("RAID10 needs at least 2 mirrored pairs")
+        if self.stripe_unit <= 0 or self.stripe_unit % 512:
+            raise ValueError("stripe unit must be a positive sector multiple")
+        if not 0 < self.free_space_bytes < self.disk.capacity_bytes:
+            raise ValueError("free space must fit inside the disk")
+        if self.graid_log_capacity_bytes <= 0:
+            raise ValueError("GRAID log capacity must be positive")
+        if not 0.05 <= self.destage_threshold <= 1.0:
+            raise ValueError("destage threshold out of range")
+        if not 0.05 <= self.rotate_threshold <= 1.0:
+            raise ValueError("rotate threshold out of range")
+        if not 0.0 <= self.prewake_fraction <= 1.0:
+            raise ValueError("prewake fraction out of range")
+        if not 1 <= self.n_on_duty < self.n_pairs:
+            raise ValueError("n_on_duty must be in [1, n_pairs)")
+        if self.idle_grace_s < 0 or self.standby_return_s < 0:
+            raise ValueError("time knobs must be non-negative")
+        if self.destage_batch_bytes < self.stripe_unit:
+            raise ValueError("destage batch must hold at least one unit")
+        if not 0.0 <= self.read_cache_fraction < 1.0:
+            raise ValueError("read cache fraction out of range")
+        if self.disk_scheduler not in ("fcfs", "sstf"):
+            raise ValueError("disk_scheduler must be 'fcfs' or 'sstf'")
+
+    @property
+    def n_disks(self) -> int:
+        """Disks in the RAID10 proper (GRAID adds one dedicated log disk)."""
+        return 2 * self.n_pairs
+
+    @property
+    def data_capacity_bytes(self) -> int:
+        """Per-disk data-region size (stripe-unit aligned)."""
+        raw = self.disk.capacity_bytes - self.free_space_bytes
+        return (raw // self.stripe_unit) * self.stripe_unit
+
+    @property
+    def log_region_offset(self) -> int:
+        """Byte offset where the per-disk logging region starts."""
+        return self.data_capacity_bytes
+
+    def layout(self) -> Raid10Layout:
+        return Raid10Layout(
+            self.n_pairs,
+            self.stripe_unit,
+            self.data_capacity_bytes,
+            spread=self.spread_data,
+        )
+
+    def scaled(self, scale: float) -> "ArrayConfig":
+        """Scale the capacity-derived knobs by ``scale``.
+
+        Matches the trace time-scaling described in DESIGN.md: log/free
+        capacities shrink with the replayed horizon so cycle counts are
+        preserved.  Mechanical and power parameters are untouched.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        unit = self.stripe_unit
+
+        def snap(value: float) -> int:
+            return max(unit * 4, int(value) // unit * unit)
+
+        return dataclasses.replace(
+            self,
+            free_space_bytes=snap(self.free_space_bytes * scale),
+            graid_log_capacity_bytes=snap(
+                self.graid_log_capacity_bytes * scale
+            ),
+        )

@@ -1,0 +1,206 @@
+"""Destage processes.
+
+A :class:`DestageProcess` moves a snapshot of inconsistent stripe units from
+a source disk to one or more target disks as *background* I/O.  Two driving
+modes cover all schemes in the paper:
+
+* ``idle_gated=True`` — RoLo's decentralized destaging (§III-A): the next
+  batch is issued only after every involved disk has been free of foreground
+  work for a grace interval, so destage I/O is spread and diluted among the
+  short idle slots.
+* ``idle_gated=False`` — centralized destaging (GRAID, and RoLo-E's
+  end-of-log destage): batches chain back-to-back at background priority,
+  which is exactly the bursty behaviour §II measures.
+
+Either way the batch in flight runs at :class:`~repro.disk.disk.Priority`
+BACKGROUND, so queued foreground requests always pass it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.disk.disk import Disk, DiskOp, OpKind, Priority
+from repro.sim.engine import Simulator, Timer
+
+
+def coalesce_units(
+    units: Sequence[int], unit_size: int, max_batch: int
+) -> List[Tuple[int, int]]:
+    """Merge sorted unit offsets into (offset, nbytes) batches.
+
+    Adjacent units form one contiguous batch up to ``max_batch`` bytes —
+    the paper's "bundle as many data blocks with successive location as
+    possible in one destaging I/O operation" (§VI).
+    """
+    if unit_size <= 0 or max_batch < unit_size:
+        raise ValueError("invalid unit/batch sizes")
+    batches: List[Tuple[int, int]] = []
+    ordered = sorted(units)
+    i = 0
+    while i < len(ordered):
+        start = ordered[i]
+        length = unit_size
+        i += 1
+        while (
+            i < len(ordered)
+            and ordered[i] == start + length
+            and length + unit_size <= max_batch
+        ):
+            length += unit_size
+            i += 1
+        batches.append((start, length))
+    return batches
+
+
+class DestageProcess:
+    """Copies a fixed set of stripe units from ``source`` to ``targets``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        source: Disk,
+        targets: Sequence[Disk],
+        units: Sequence[int],
+        unit_size: int,
+        batch_bytes: int,
+        idle_gated: bool,
+        idle_grace_s: float,
+        on_complete: Optional[Callable[["DestageProcess"], None]] = None,
+    ) -> None:
+        if not targets:
+            raise ValueError("need at least one target disk")
+        self.sim = sim
+        self.name = name
+        self.source = source
+        self.targets = list(targets)
+        self.unit_size = unit_size
+        self.idle_gated = idle_gated
+        self._batches = coalesce_units(units, unit_size, batch_bytes)
+        self._next_batch = 0
+        self._in_flight = False
+        self._writes_outstanding = 0
+        self.on_complete = on_complete
+        self.bytes_moved = 0
+        self.started_at = sim.now
+        self.finished_at: float = -1.0
+        self._gate_disks = [source] + self.targets
+        self._timer: Optional[Timer] = None
+        if idle_gated:
+            self._timer = Timer(sim, idle_grace_s, self._grace_elapsed)
+            for disk in self._gate_disks:
+                disk.add_idle_listener(self._on_disk_idle)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.finished_at >= 0
+
+    @property
+    def remaining_batches(self) -> int:
+        return len(self._batches) - self._next_batch
+
+    def start(self) -> None:
+        """Begin pumping.  Completes immediately when there is nothing to do."""
+        if self.done:
+            return
+        if self._next_batch >= len(self._batches):
+            self._finish()
+            return
+        if self.idle_gated:
+            self._poke()
+        else:
+            self._issue_next()
+
+    # ------------------------------------------------------------------
+    # Idle gating
+    # ------------------------------------------------------------------
+    def _quiet(self) -> bool:
+        """True when no foreground work is pending on any involved disk."""
+        return all(d.pending_foreground == 0 for d in self._gate_disks)
+
+    def _on_disk_idle(self, _disk: Disk) -> None:
+        self._poke()
+
+    def _poke(self) -> None:
+        if self.done or self._in_flight:
+            return
+        if self._quiet():
+            assert self._timer is not None
+            if not self._timer.armed:
+                self._timer.arm()
+
+    def _grace_elapsed(self) -> None:
+        if self.done or self._in_flight:
+            return
+        if self._quiet():
+            self._issue_next()
+        # else: a foreground burst arrived during the grace window; the idle
+        # listeners will re-arm the timer when the disks drain again.
+
+    # ------------------------------------------------------------------
+    # Batch pipeline: read from source, then write to every target.
+    # ------------------------------------------------------------------
+    def _issue_next(self) -> None:
+        if self._in_flight or self.done:
+            return
+        if self._next_batch >= len(self._batches):
+            self._finish()
+            return
+        offset, nbytes = self._batches[self._next_batch]
+        self._next_batch += 1
+        self._in_flight = True
+        self.source.submit(
+            DiskOp(
+                OpKind.READ,
+                offset // 512,
+                nbytes,
+                priority=Priority.BACKGROUND,
+                on_complete=self._read_done,
+                tag=(offset, nbytes),
+            )
+        )
+
+    def _read_done(self, op: DiskOp) -> None:
+        offset, nbytes = op.tag
+        self._writes_outstanding = len(self.targets)
+        for target in self.targets:
+            target.submit(
+                DiskOp(
+                    OpKind.WRITE,
+                    offset // 512,
+                    nbytes,
+                    priority=Priority.BACKGROUND,
+                    on_complete=self._write_done,
+                    tag=nbytes,
+                )
+            )
+
+    def _write_done(self, op: DiskOp) -> None:
+        self._writes_outstanding -= 1
+        if self._writes_outstanding > 0:
+            return
+        self.bytes_moved += int(op.tag)
+        self._in_flight = False
+        if self._next_batch >= len(self._batches):
+            self._finish()
+        elif self.idle_gated:
+            self._poke()
+        else:
+            self._issue_next()
+
+    def _finish(self) -> None:
+        if self.done:
+            return
+        self.finished_at = self.sim.now
+        self._detach()
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def _detach(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        if self.idle_gated:
+            for disk in self._gate_disks:
+                disk.remove_idle_listener(self._on_disk_idle)

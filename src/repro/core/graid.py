@@ -1,0 +1,202 @@
+"""GRAID — the centralized-logging baseline (Mao et al., MASCOTS 2008).
+
+One extra dedicated log disk absorbs the second copy of every write while
+all mirrored disks sleep in STANDBY.  When the log disk's occupancy reaches
+the destage threshold, *all* mirrors are spun up and every stale stripe unit
+is copied from its primary in parallel (Fig. 1 of the paper); the log is then
+truncated and the mirrors spun back down.  This bursty alternation of
+logging and destaging periods is what §II instruments (Fig. 2) and what RoLo
+eliminates.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Set
+
+from repro.core.base import Controller
+from repro.core.destage import DestageProcess
+from repro.core.logspace import LogRegion
+from repro.core.metrics import CycleWindow
+from repro.disk.disk import Disk, OpKind
+from repro.raid.request import IORequest
+
+
+class _Mode(enum.Enum):
+    LOGGING = "logging"
+    DESTAGING = "destaging"
+
+
+class GraidController(Controller):
+    scheme_name = "GRAID"
+
+    def _build_disks(self) -> None:
+        n = self.config.n_pairs
+        self.primaries: List[Disk] = [
+            self._make_disk(f"P{i}") for i in range(n)
+        ]
+        self.mirrors: List[Disk] = [
+            self._make_disk(f"M{i}", standby=True) for i in range(n)
+        ]
+        self.log_disk: Disk = self._make_disk("LOG")
+        self.log_region = LogRegion(
+            "graid-log", 0, self.config.graid_log_capacity_bytes
+        )
+        self._mode = _Mode.LOGGING
+        self._dirty: List[Set[int]] = [set() for _ in range(n)]
+        self._active_processes = 0
+        self._epoch = 0
+        self._reclaim_limit = 0
+        self._draining = False
+        self._cycle = CycleWindow(
+            logging_start=self.sim.now,
+            energy_at_logging_start=0.0,
+        )
+
+    def disks_by_role(self) -> Dict[str, List[Disk]]:
+        return {
+            "primary": self.primaries,
+            "mirror": self.mirrors,
+            "log": [self.log_disk],
+        }
+
+    def dirty_units_total(self) -> int:
+        return sum(len(units) for units in self._dirty)
+
+    # ------------------------------------------------------------------
+    def submit(self, request: IORequest) -> None:
+        segments = self.layout.map_extent(request.offset, request.nbytes)
+        if not request.is_write:
+            for seg in segments:
+                self._issue(
+                    self.primaries[seg.pair],
+                    OpKind.READ,
+                    seg.disk_offset,
+                    seg.nbytes,
+                    request=request,
+                )
+            request.seal(self.sim.now)
+            return
+
+        # Primary copy always goes in place.
+        for seg in segments:
+            self._issue(
+                self.primaries[seg.pair],
+                OpKind.WRITE,
+                seg.disk_offset,
+                seg.nbytes,
+                request=request,
+            )
+        if self.log_region.fits(request.nbytes):
+            # Logging continues during a destage period too — the headroom
+            # above the destage threshold exists precisely so user writes
+            # never wait for mirrors to spin up.
+            self._log_write(request, segments)
+        else:
+            # Log full: second copy in place.  Destaging from the primary
+            # afterwards is idempotent, so dirty state needs no adjustment.
+            for seg in segments:
+                self._issue(
+                    self.mirrors[seg.pair],
+                    OpKind.WRITE,
+                    seg.disk_offset,
+                    seg.nbytes,
+                    request=request,
+                )
+        request.seal(self.sim.now)
+
+    def _log_write(self, request: IORequest, segments) -> None:
+        contributions: Dict[int, int] = {}
+        for seg in segments:
+            contributions[seg.pair] = (
+                contributions.get(seg.pair, 0) + seg.nbytes
+            )
+        offset = self.log_region.append(
+            request.nbytes, contributions, self._epoch
+        )
+        self.metrics.logged_bytes += request.nbytes
+        for pair, unit in self.layout.units(request.offset, request.nbytes):
+            self._dirty[pair].add(unit)
+        self._issue(
+            self.log_disk,
+            OpKind.WRITE,
+            offset,
+            request.nbytes,
+            request=request,
+            sequential=True,
+        )
+        threshold = self.config.destage_threshold * self.log_region.capacity
+        if self._mode is _Mode.LOGGING and self.log_region.used >= threshold:
+            self._begin_destage()
+
+    # ------------------------------------------------------------------
+    def _begin_destage(self) -> None:
+        if self._mode is _Mode.DESTAGING:
+            return
+        self._mode = _Mode.DESTAGING
+        self._epoch += 1
+        self._reclaim_limit = self._epoch
+        now = self.sim.now
+        self._cycle.destage_start = now
+        self._cycle.energy_at_destage_start = self.total_energy_now()
+        for mirror in self.mirrors:
+            self._cancel_sleep(mirror)
+            mirror.request_spin_up()
+        self._active_processes = 0
+        for pair in range(self.config.n_pairs):
+            units = self._dirty[pair]
+            if not units:
+                continue
+            self._dirty[pair] = set()
+            process = DestageProcess(
+                self.sim,
+                name=f"graid-destage-{pair}",
+                source=self.primaries[pair],
+                targets=[self.mirrors[pair]],
+                units=sorted(units),
+                unit_size=self.config.stripe_unit,
+                batch_bytes=self.config.destage_batch_bytes,
+                idle_gated=False,
+                idle_grace_s=0.0,
+                on_complete=self._process_done,
+            )
+            self._active_processes += 1
+            process.start()
+        if self._active_processes == 0:
+            self._end_destage()
+
+    def _process_done(self, process: DestageProcess) -> None:
+        self.metrics.destaged_bytes += process.bytes_moved
+        self._active_processes -= 1
+        if self._active_processes == 0:
+            self._end_destage()
+
+    def _end_destage(self) -> None:
+        now = self.sim.now
+        for pair in range(self.config.n_pairs):
+            self.log_region.reclaim(pair, self._reclaim_limit)
+        self._cycle.destage_end = now
+        self._cycle.energy_at_destage_end = self.total_energy_now()
+        self.metrics.cycles.append(self._cycle)
+        self.metrics.destage_cycles += 1
+        self._cycle = CycleWindow(
+            logging_start=now,
+            energy_at_logging_start=self.total_energy_now(),
+        )
+        self._mode = _Mode.LOGGING
+        for mirror in self.mirrors:
+            self._sleep_when_quiet(mirror)
+        # Writes that arrived during the destage may already have filled the
+        # log past the threshold again.
+        threshold = self.config.destage_threshold * self.log_region.capacity
+        if self.log_region.used >= threshold or (
+            self._draining and self.dirty_units_total()
+        ):
+            self._begin_destage()
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Flush remaining dirty units (outside the measured window)."""
+        self._draining = True
+        if self.dirty_units_total() and self._mode is _Mode.LOGGING:
+            self._begin_destage()

@@ -1,0 +1,200 @@
+"""Run metrics collected by the trace driver and controllers.
+
+:class:`RunMetrics` carries everything the paper's tables and figures need:
+response-time statistics, energy, power-state duty fractions by disk role,
+spin counts (Table I), logging-cycle windows (Fig. 2), and scheme-specific
+counters (rotations, destage volume, read hit rate).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.disk.disk import Disk
+from repro.disk.power import PowerState
+from repro.sim.stats import Histogram, StreamingStat
+
+
+@dataclasses.dataclass
+class CycleWindow:
+    """One logging cycle: a logging period and its destaging period.
+
+    For GRAID the two periods alternate (Fig. 1a); for RoLo the destage
+    window may overlap the next logging period (Fig. 5a) — ``destage_end``
+    is simply when the destage process finished.
+    """
+
+    logging_start: float
+    destage_start: float = -1.0
+    destage_end: float = -1.0
+    energy_at_logging_start: float = 0.0
+    energy_at_destage_start: float = 0.0
+    energy_at_destage_end: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.destage_end >= 0
+
+    @property
+    def logging_interval(self) -> float:
+        return self.destage_start - self.logging_start
+
+    @property
+    def destage_interval(self) -> float:
+        return self.destage_end - self.destage_start
+
+    @property
+    def logging_energy(self) -> float:
+        return self.energy_at_destage_start - self.energy_at_logging_start
+
+    @property
+    def destage_energy(self) -> float:
+        return self.energy_at_destage_end - self.energy_at_destage_start
+
+
+class RunMetrics:
+    """Mutable metric sink for one simulation run."""
+
+    def __init__(self) -> None:
+        self.response_time = StreamingStat()
+        self.read_response_time = StreamingStat()
+        self.write_response_time = StreamingStat()
+        self.response_histogram = Histogram.exponential(1e-4, 2.0, 30)
+        self.requests = 0
+        self.reads = 0
+        self.writes = 0
+        # Filled by finalize().
+        self.duration_s = 0.0
+        self.total_energy_j = 0.0
+        self.spin_up_count = 0
+        self.spin_down_count = 0
+        self.energy_by_role: Dict[str, float] = {}
+        self.state_time_by_role: Dict[str, Dict[PowerState, float]] = {}
+        self.energy_by_state: Dict[PowerState, float] = {}
+        # Scheme-specific counters (controllers fill what applies).
+        self.rotations = 0
+        self.destage_cycles = 0
+        self.logged_bytes = 0
+        self.destaged_bytes = 0
+        self.read_hits = 0
+        self.read_misses = 0
+        self.cycles: List[CycleWindow] = []
+        self.deactivations = 0
+
+    # ------------------------------------------------------------------
+    def record_response(self, is_write: bool, seconds: float) -> None:
+        self.requests += 1
+        self.response_time.add(seconds)
+        self.response_histogram.add(seconds)
+        if is_write:
+            self.writes += 1
+            self.write_response_time.add(seconds)
+        else:
+            self.reads += 1
+            self.read_response_time.add(seconds)
+
+    def finalize(
+        self,
+        now: float,
+        disks_by_role: Dict[str, List[Disk]],
+    ) -> None:
+        """Close power accounting and aggregate per-role statistics."""
+        self.duration_s = now
+        self.total_energy_j = 0.0
+        self.spin_up_count = 0
+        self.spin_down_count = 0
+        self.energy_by_role = {}
+        self.state_time_by_role = {}
+        self.energy_by_state = {s: 0.0 for s in PowerState}
+        for role, disks in disks_by_role.items():
+            role_energy = 0.0
+            role_states: Dict[PowerState, float] = {
+                s: 0.0 for s in PowerState
+            }
+            for disk in disks:
+                disk.close()
+                role_energy += disk.power.energy_joules
+                self.spin_up_count += disk.power.spin_up_count
+                self.spin_down_count += disk.power.spin_down_count
+                for state, duration in disk.power.state_durations.items():
+                    role_states[state] += duration
+                    self.energy_by_state[state] += disk.power.energy_for(
+                        state
+                    )
+            self.energy_by_role[role] = role_energy
+            self.state_time_by_role[role] = role_states
+            self.total_energy_j += role_energy
+
+    def snapshot(self) -> "RunMetrics":
+        """A frozen copy of the current values.
+
+        Taken when the measurement window closes so that post-trace flush
+        activity (``Controller.drain``) cannot leak into reported counters.
+        """
+        clone = copy.copy(self)
+        clone.cycles = list(self.cycles)
+        return clone
+
+    # ------------------------------------------------------------------
+    @property
+    def spin_cycle_count(self) -> int:
+        """Total disk spin up/down transitions — the Table I metric."""
+        return self.spin_up_count + self.spin_down_count
+
+    @property
+    def mean_response_time_ms(self) -> float:
+        return self.response_time.mean * 1e3
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.total_energy_j / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def read_hit_rate(self) -> float:
+        lookups = self.read_hits + self.read_misses
+        return self.read_hits / lookups if lookups else 0.0
+
+    def idle_fraction(self, role: str) -> float:
+        """Fraction of a role's disk-time spent IDLE (Fig. 3 metric)."""
+        states = self.state_time_by_role.get(role)
+        if not states:
+            return 0.0
+        total = sum(states.values())
+        return states[PowerState.IDLE] / total if total else 0.0
+
+    def destage_interval_ratio(self) -> Optional[float]:
+        """Mean fraction of each complete cycle spent destaging (Fig. 2c)."""
+        return self._cycle_ratio(time=True)
+
+    def destage_energy_ratio(self) -> Optional[float]:
+        """Mean fraction of each cycle's energy spent destaging (Fig. 2d)."""
+        return self._cycle_ratio(time=False)
+
+    def _cycle_ratio(self, time: bool) -> Optional[float]:
+        ratios = []
+        for cycle in self.cycles:
+            if not cycle.complete:
+                continue
+            if time:
+                total = cycle.logging_interval + cycle.destage_interval
+                part = cycle.destage_interval
+            else:
+                total = cycle.logging_energy + cycle.destage_energy
+                part = cycle.destage_energy
+            if total > 0:
+                ratios.append(part / total)
+        if not ratios:
+            return None
+        return sum(ratios) / len(ratios)
+
+    def summary(self) -> str:
+        """Human-readable one-run summary."""
+        return (
+            f"requests={self.requests} "
+            f"mean_rt={self.mean_response_time_ms:.3f}ms "
+            f"energy={self.total_energy_j / 1e3:.2f}kJ "
+            f"mean_power={self.mean_power_w:.1f}W "
+            f"spins={self.spin_cycle_count}"
+        )

@@ -1,0 +1,404 @@
+"""Shared machinery of RoLo-P and RoLo-R (rotated logging + decentralized
+destaging, paper §III-A/§III-B).
+
+Both flavors keep every primary disk ACTIVE/IDLE, rotate the on-duty
+logger(s) through the mirrors' free space, and trigger an idle-gated
+destage process for the pair that just came on duty.  The only difference
+is the number of log copies: RoLo-P appends the second copy to the on-duty
+mirror, RoLo-R additionally appends a third copy to the on-duty pair's
+primary log region (``log_to_primary_too``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.base import Controller
+from repro.core.config import ArrayConfig
+from repro.core.destage import DestageProcess
+from repro.core.logspace import LogRegion
+from repro.core.metrics import CycleWindow
+from repro.core.rotation import RotationPolicy
+from repro.disk.disk import Disk, OpKind
+from repro.raid.request import IORequest
+from repro.sim.engine import Simulator
+
+
+class RotatedLoggingController(Controller):
+    """Base class implementing rotated logging with decentralized destage."""
+
+    #: RoLo-R overrides this to mirror each log append onto the primary.
+    log_to_primary_too = False
+
+    def __init__(self, sim: Simulator, config: ArrayConfig) -> None:
+        super().__init__(sim, config)
+
+    # ------------------------------------------------------------------
+    def _build_disks(self) -> None:
+        cfg = self.config
+        n = cfg.n_pairs
+        self.primaries: List[Disk] = [self._make_disk(f"P{i}") for i in range(n)]
+        self.mirrors: List[Disk] = [
+            self._make_disk(f"M{i}", standby=i >= cfg.n_on_duty)
+            for i in range(n)
+        ]
+        self.mirror_logs: List[LogRegion] = [
+            LogRegion(f"M{i}-log", cfg.log_region_offset, cfg.free_space_bytes)
+            for i in range(n)
+        ]
+        self.primary_logs: List[LogRegion] = [
+            LogRegion(f"P{i}-log", cfg.log_region_offset, cfg.free_space_bytes)
+            for i in range(n)
+        ]
+        self._on_duty: List[int] = list(range(cfg.n_on_duty))
+        self._previous_duty: List[Optional[int]] = [None] * cfg.n_on_duty
+        self._duty_rr = 0
+        self._epoch = 0
+        #: Epoch at which each slot's current logging period started.
+        self._slot_started: List[float] = [self.sim.now] * cfg.n_on_duty
+        self._dirty: List[Set[int]] = [set() for _ in range(n)]
+        self._pending_destage: List[Set[int]] = [set() for _ in range(n)]
+        self._destage_epoch: List[int] = [0] * n
+        self._active_process: List[Optional[DestageProcess]] = [None] * n
+        self._deactivated = False
+        self._draining = False
+        self._prewoken = False
+        self._policy = RotationPolicy(
+            n, cfg.rotate_threshold, self._logger_occupancy
+        )
+
+    def disks_by_role(self) -> Dict[str, List[Disk]]:
+        return {"primary": self.primaries, "mirror": self.mirrors}
+
+    def dirty_units_total(self) -> int:
+        total = sum(len(s) for s in self._dirty)
+        total += sum(len(s) for s in self._pending_destage)
+        for process in self._active_process:
+            if process is not None and not process.done:
+                total += process.remaining_batches + 1
+        return total
+
+    def _logger_occupancy(self, index: int) -> float:
+        occupancy = self.mirror_logs[index].occupancy
+        if self.log_to_primary_too:
+            occupancy = max(occupancy, self.primary_logs[index].occupancy)
+        return occupancy
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, request: IORequest) -> None:
+        segments = self.layout.map_extent(request.offset, request.nbytes)
+        if not request.is_write:
+            for seg in segments:
+                self._issue(
+                    self.primaries[seg.pair],
+                    OpKind.READ,
+                    seg.disk_offset,
+                    seg.nbytes,
+                    request=request,
+                )
+            request.seal(self.sim.now)
+            return
+
+        for seg in segments:
+            self._issue(
+                self.primaries[seg.pair],
+                OpKind.WRITE,
+                seg.disk_offset,
+                seg.nbytes,
+                request=request,
+            )
+        if self._deactivated:
+            # RoLo de-activated (§III-E): mirror copies go in place.
+            for seg in segments:
+                self._issue(
+                    self.mirrors[seg.pair],
+                    OpKind.WRITE,
+                    seg.disk_offset,
+                    seg.nbytes,
+                    request=request,
+                )
+            request.seal(self.sim.now)
+            return
+
+        slot = self._duty_rr % len(self._on_duty)
+        self._duty_rr += 1
+        target = self._append_target(slot, request.nbytes)
+        if target is None:
+            # Nowhere to log this request; fall back to in-place mirroring.
+            for seg in segments:
+                self._issue(
+                    self.mirrors[seg.pair],
+                    OpKind.WRITE,
+                    seg.disk_offset,
+                    seg.nbytes,
+                    request=request,
+                )
+            request.seal(self.sim.now)
+            return
+
+        contributions: Dict[int, int] = {}
+        for seg in segments:
+            contributions[seg.pair] = (
+                contributions.get(seg.pair, 0) + seg.nbytes
+            )
+        offset = self.mirror_logs[target].append(
+            request.nbytes, contributions, self._epoch
+        )
+        self.metrics.logged_bytes += request.nbytes
+        self._issue(
+            self.mirrors[target],
+            OpKind.WRITE,
+            offset,
+            request.nbytes,
+            request=request,
+            sequential=True,
+        )
+        if self.log_to_primary_too:
+            p_offset = self.primary_logs[target].append(
+                request.nbytes, contributions, self._epoch
+            )
+            self._issue(
+                self.primaries[target],
+                OpKind.WRITE,
+                p_offset,
+                request.nbytes,
+                request=request,
+                sequential=True,
+            )
+        for pair, unit in self.layout.units(request.offset, request.nbytes):
+            self._dirty[pair].add(unit)
+        request.seal(self.sim.now)
+
+        occupancy = self._logger_occupancy(target)
+        if occupancy >= self.config.rotate_threshold:
+            duty_slot = self._slot_of(target)
+            if duty_slot is not None:
+                self._rotate(duty_slot)
+        elif occupancy >= (
+            self.config.prewake_fraction * self.config.rotate_threshold
+        ):
+            self._prewake(target)
+
+    def _prewake(self, current: int) -> None:
+        """Spin up the next rotation candidate ahead of need."""
+        if self._prewoken:
+            return
+        candidate = self._policy.peek_next(current, excluded=self._on_duty)
+        if candidate is None:
+            return
+        self._prewoken = True
+        self._cancel_sleep(self.mirrors[candidate])
+        self.mirrors[candidate].request_spin_up()
+
+    def _slot_of(self, mirror_index: int) -> Optional[int]:
+        for slot, index in enumerate(self._on_duty):
+            if index == mirror_index:
+                return slot
+        return None
+
+    def _append_target(self, slot: int, nbytes: int) -> Optional[int]:
+        """Mirror index that should receive this append.
+
+        While the newly rotated-to disk is still spinning up, appends stay
+        on the previous on-duty disk as long as it has room, so rotation
+        does not stall foreground writes behind a spin-up.
+        """
+        current = self._on_duty[slot]
+        previous = self._previous_duty[slot]
+        current_up = self.mirrors[current].state.spun_up
+        if (
+            not current_up
+            and previous is not None
+            and self.mirrors[previous].state.spun_up
+            and self.mirror_logs[previous].fits(nbytes)
+            and (
+                not self.log_to_primary_too
+                or self.primary_logs[previous].fits(nbytes)
+            )
+        ):
+            return previous
+        if self.mirror_logs[current].fits(nbytes) and (
+            not self.log_to_primary_too
+            or self.primary_logs[current].fits(nbytes)
+        ):
+            return current
+        if (
+            previous is not None
+            and self.mirror_logs[previous].fits(nbytes)
+            and (
+                not self.log_to_primary_too
+                or self.primary_logs[previous].fits(nbytes)
+            )
+        ):
+            return previous
+        return None
+
+    # ------------------------------------------------------------------
+    # Rotation + decentralized destage
+    # ------------------------------------------------------------------
+    def _rotate(self, slot: int) -> None:
+        current = self._on_duty[slot]
+        candidate = self._policy.next_logger(
+            current, excluded=self._on_duty
+        )
+        if candidate is None:
+            self._deactivate()
+            return
+        now = self.sim.now
+        self._epoch += 1
+        self.metrics.rotations += 1
+        self._prewoken = False
+        self._previous_duty[slot] = current
+        self._on_duty[slot] = candidate
+        self._cancel_sleep(self.mirrors[candidate])
+        self.mirrors[candidate].request_spin_up()
+        window = CycleWindow(
+            logging_start=self._slot_started[slot],
+            destage_start=now,
+            energy_at_logging_start=0.0,
+            energy_at_destage_start=self.total_energy_now(),
+        )
+        self._slot_started[slot] = now
+        self._start_destage_for(candidate, window)
+        # The previous on-duty disk goes back to sleep once its queued log
+        # appends drain — unless it is still the target of a running
+        # destage process.
+        if self._active_process[current] is None:
+            self._sleep_when_quiet(self.mirrors[current])
+
+    def _start_destage_for(
+        self, pair: int, window: Optional[CycleWindow]
+    ) -> None:
+        units = self._dirty[pair]
+        self._dirty[pair] = set()
+        if self._active_process[pair] is not None:
+            # Destage for this pair is still running from an earlier duty
+            # tour; queue the new snapshot behind it.
+            self._pending_destage[pair] |= units
+            return
+        self._pending_destage[pair] |= units
+        self._launch_process(pair, window)
+
+    def _launch_process(
+        self, pair: int, window: Optional[CycleWindow]
+    ) -> None:
+        units = self._pending_destage[pair]
+        self._pending_destage[pair] = set()
+        # Normal rotations increment the epoch *before* snapshotting, so
+        # everything this process covers was logged in earlier epochs.  A
+        # drain flush also covers current-epoch writes, so its reclaim
+        # boundary must include the current epoch.
+        epoch_limit = self._epoch + 1 if self._draining else self._epoch
+        if not units:
+            # Nothing to destage: the pair's older log space is already
+            # reclaimable.
+            self._reclaim(pair, epoch_limit)
+            if window is not None:
+                window.destage_end = self.sim.now
+                window.energy_at_destage_end = self.total_energy_now()
+                self.metrics.cycles.append(window)
+            return
+        process = DestageProcess(
+            self.sim,
+            name=f"{self.scheme_name}-destage-{pair}",
+            source=self.primaries[pair],
+            targets=[self.mirrors[pair]],
+            units=sorted(units),
+            unit_size=self.config.stripe_unit,
+            batch_bytes=self.config.destage_batch_bytes,
+            idle_gated=not self._draining,
+            idle_grace_s=self.config.idle_grace_s,
+            on_complete=lambda p, pair=pair, window=window, limit=epoch_limit: (
+                self._process_done(pair, p, window, limit)
+            ),
+        )
+        self._active_process[pair] = process
+        self._cancel_sleep(self.mirrors[pair])
+        process.start()
+
+    def _process_done(
+        self,
+        pair: int,
+        process: DestageProcess,
+        window: Optional[CycleWindow],
+        epoch_limit: int,
+    ) -> None:
+        self.metrics.destaged_bytes += process.bytes_moved
+        self.metrics.destage_cycles += 1
+        self._active_process[pair] = None
+        self._reclaim(pair, epoch_limit)
+        if window is not None:
+            window.destage_end = self.sim.now
+            window.energy_at_destage_end = self.total_energy_now()
+            self.metrics.cycles.append(window)
+        if self._pending_destage[pair] or (
+            self._draining and self._dirty[pair]
+        ):
+            if self._draining:
+                self._pending_destage[pair] |= self._dirty[pair]
+                self._dirty[pair] = set()
+            self._launch_process(pair, None)
+            return
+        if self._deactivated:
+            self._try_reactivate()
+        # If this mirror is no longer on duty it can sleep again.
+        if pair not in self._on_duty:
+            self._sleep_when_quiet(self.mirrors[pair])
+
+    def _reclaim(self, pair: int, epoch_limit: int) -> None:
+        """Proactively reclaim the pair's stale log space everywhere."""
+        for region in self.mirror_logs:
+            region.reclaim(pair, epoch_limit)
+        if self.log_to_primary_too:
+            for region in self.primary_logs:
+                region.reclaim(pair, epoch_limit)
+
+    # ------------------------------------------------------------------
+    # Deactivation fallback (§III-E)
+    # ------------------------------------------------------------------
+    def _deactivate(self) -> None:
+        if self._deactivated:
+            return
+        self._deactivated = True
+        self.metrics.deactivations += 1
+        for mirror in self.mirrors:
+            self._cancel_sleep(mirror)
+            mirror.request_spin_up()
+
+    def _try_reactivate(self) -> None:
+        if not self._deactivated:
+            return
+        for slot in range(len(self._on_duty)):
+            current = self._on_duty[slot]
+            if self._logger_occupancy(current) < self.config.rotate_threshold:
+                continue
+            candidate = self._policy.next_logger(
+                current, excluded=self._on_duty
+            )
+            if candidate is None:
+                return
+            self._on_duty[slot] = candidate
+        self._deactivated = False
+        duty = set(self._on_duty)
+        for index, mirror in enumerate(self.mirrors):
+            if index in duty:
+                mirror.request_spin_up()
+            elif self._active_process[index] is None:
+                self._sleep_when_quiet(mirror)
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Aggressively destage everything (post-measurement flush)."""
+        self._draining = True
+        for pair in range(self.config.n_pairs):
+            if self._active_process[pair] is not None:
+                # Its completion handler will keep draining this pair.
+                self._pending_destage[pair] |= self._dirty[pair]
+                self._dirty[pair] = set()
+                continue
+            if self._dirty[pair] or self._pending_destage[pair]:
+                self._pending_destage[pair] |= self._dirty[pair]
+                self._dirty[pair] = set()
+                self._launch_process(pair, None)

@@ -1,0 +1,358 @@
+"""RoLo-E: the energy-oriented flavor (paper §III-B3).
+
+Only one mirrored pair spins at a time; it absorbs *both* copies of every
+write into its logging space and caches popular read blocks there.  All
+other disks — primaries included — sleep in STANDBY, so a read miss pays a
+full disk spin-up (the source of RoLo-E's polarized response times, Table V).
+When the on-duty logging space fills, every disk is spun up for one
+centralized destage, the logger rotates to the next pair, and the rest of
+the array goes back to sleep.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Set, Tuple
+
+from repro.cache.lru import LRUCache
+from repro.core.base import Controller
+from repro.core.destage import DestageProcess
+from repro.core.logspace import LogRegion
+from repro.core.metrics import CycleWindow
+from repro.disk.disk import Disk, DiskOp, OpKind, Priority
+from repro.raid.request import IORequest
+from repro.sim.engine import Timer
+
+
+class _Mode(enum.Enum):
+    LOGGING = "logging"
+    #: Destage requested: the whole array is spinning up, but logging
+    #: continues into the headroom above the destage threshold so writes
+    #: never stall behind a spin-up.
+    SPINNING = "spinning"
+    DESTAGING = "destaging"
+
+
+class RoloEController(Controller):
+    scheme_name = "RoLo-E"
+
+    def _build_disks(self) -> None:
+        cfg = self.config
+        n = cfg.n_pairs
+        self._duty_pair = 0
+        self.primaries: List[Disk] = [
+            self._make_disk(f"P{i}", standby=i != self._duty_pair)
+            for i in range(n)
+        ]
+        self.mirrors: List[Disk] = [
+            self._make_disk(f"M{i}", standby=i != self._duty_pair)
+            for i in range(n)
+        ]
+        self.primary_logs: List[LogRegion] = [
+            LogRegion(f"P{i}-log", cfg.log_region_offset, cfg.free_space_bytes)
+            for i in range(n)
+        ]
+        self.mirror_logs: List[LogRegion] = [
+            LogRegion(f"M{i}-log", cfg.log_region_offset, cfg.free_space_bytes)
+            for i in range(n)
+        ]
+        self._mode = _Mode.LOGGING
+        self._dirty: List[Set[int]] = [set() for _ in range(n)]
+        self._active_processes = 0
+        self._rr = 0
+        cache_capacity = 0
+        if cfg.read_cache:
+            cache_capacity = int(
+                cfg.read_cache_fraction
+                * cfg.free_space_bytes
+                // cfg.stripe_unit
+            )
+        #: (pair, unit) -> (log disk index tuple key, absolute offset, nbytes)
+        self._cache: LRUCache[Tuple[int, int], Tuple[bool, int, int]] = (
+            LRUCache(cache_capacity)
+        )
+        self._cycle = CycleWindow(
+            logging_start=self.sim.now, energy_at_logging_start=0.0
+        )
+        self._sleep_timers: Dict[Disk, Timer] = {}
+        for disk in self.primaries + self.mirrors:
+            timer = Timer(
+                self.sim,
+                cfg.standby_return_s,
+                lambda d=disk: self._sleep_timer_fired(d),
+            )
+            self._sleep_timers[disk] = timer
+            disk.add_idle_listener(self._disk_idle)
+
+    def disks_by_role(self) -> Dict[str, List[Disk]]:
+        return {"primary": self.primaries, "mirror": self.mirrors}
+
+    def dirty_units_total(self) -> int:
+        return sum(len(s) for s in self._dirty)
+
+    # ------------------------------------------------------------------
+    # Opportunistic spin-down of read-miss-woken disks
+    # ------------------------------------------------------------------
+    def _is_on_duty(self, disk: Disk) -> bool:
+        return disk in (
+            self.primaries[self._duty_pair],
+            self.mirrors[self._duty_pair],
+        )
+
+    def _disk_idle(self, disk: Disk) -> None:
+        if self._mode is _Mode.DESTAGING or self._is_on_duty(disk):
+            return
+        if disk.state.spun_up:
+            self._sleep_timers[disk].arm()
+
+    def _sleep_timer_fired(self, disk: Disk) -> None:
+        if self._mode is _Mode.DESTAGING or self._is_on_duty(disk):
+            return
+        disk.request_spin_down()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, request: IORequest) -> None:
+        if request.is_write:
+            self._submit_write(request)
+        else:
+            self._submit_read(request)
+
+    def _duty_disks(self) -> Tuple[Disk, Disk]:
+        return self.primaries[self._duty_pair], self.mirrors[self._duty_pair]
+
+    def _submit_write(self, request: IORequest) -> None:
+        segments = self.layout.map_extent(request.offset, request.nbytes)
+        p_log = self.primary_logs[self._duty_pair]
+        m_log = self.mirror_logs[self._duty_pair]
+        can_log = (
+            self._mode is not _Mode.DESTAGING
+            and p_log.fits(request.nbytes)
+            and m_log.fits(request.nbytes)
+        )
+        if not can_log:
+            # Destaging in progress or log full: write in place to both
+            # home disks (they are up, or the submit wakes them).
+            for seg in segments:
+                self._issue(
+                    self.primaries[seg.pair], OpKind.WRITE,
+                    seg.disk_offset, seg.nbytes, request=request,
+                )
+                self._issue(
+                    self.mirrors[seg.pair], OpKind.WRITE,
+                    seg.disk_offset, seg.nbytes, request=request,
+                )
+            request.seal(self.sim.now)
+            if self._mode is _Mode.LOGGING:
+                self._begin_destage()
+            return
+
+        contributions: Dict[int, int] = {}
+        for seg in segments:
+            contributions[seg.pair] = (
+                contributions.get(seg.pair, 0) + seg.nbytes
+            )
+        p_disk, m_disk = self._duty_disks()
+        p_offset = p_log.append(request.nbytes, contributions, 0)
+        m_offset = m_log.append(request.nbytes, contributions, 0)
+        self.metrics.logged_bytes += 2 * request.nbytes
+        self._issue(
+            p_disk, OpKind.WRITE, p_offset, request.nbytes,
+            request=request, sequential=True,
+        )
+        self._issue(
+            m_disk, OpKind.WRITE, m_offset, request.nbytes,
+            request=request, sequential=True,
+        )
+        for pair, unit in self.layout.units(request.offset, request.nbytes):
+            self._dirty[pair].add(unit)
+        request.seal(self.sim.now)
+        threshold = self.config.destage_threshold
+        if self._mode is _Mode.LOGGING and (
+            p_log.occupancy >= threshold
+            or m_log.occupancy >= threshold
+        ):
+            self._begin_destage()
+
+    def _submit_read(self, request: IORequest) -> None:
+        segments = self.layout.map_extent(request.offset, request.nbytes)
+        if self._mode is _Mode.DESTAGING:
+            # Everything is spinning; serve in place.
+            for seg in segments:
+                self._issue(
+                    self.primaries[seg.pair], OpKind.READ,
+                    seg.disk_offset, seg.nbytes, request=request,
+                )
+            request.seal(self.sim.now)
+            return
+        p_disk, m_disk = self._duty_disks()
+        for seg in segments:
+            if self._segment_hit(seg):
+                self.metrics.read_hits += 1
+                disk = (
+                    p_disk
+                    if p_disk.queue_depth <= m_disk.queue_depth
+                    else m_disk
+                )
+                self._issue(
+                    disk, OpKind.READ, seg.disk_offset, seg.nbytes,
+                    request=request,
+                )
+            else:
+                self.metrics.read_misses += 1
+                self._issue(
+                    self.primaries[seg.pair], OpKind.READ,
+                    seg.disk_offset, seg.nbytes, request=request,
+                )
+                self._cache_fill(seg)
+        request.seal(self.sim.now)
+
+    def _segment_hit(self, seg) -> bool:
+        """A segment hits when every unit it spans is in the logging space
+        (recently written) or in the popular-block cache."""
+        if seg.pair == self._duty_pair:
+            return True
+        unit = self.config.stripe_unit
+        first = (seg.disk_offset // unit) * unit
+        last = ((seg.end_offset - 1) // unit) * unit
+        dirty = self._dirty[seg.pair]
+        for base in range(first, last + 1, unit):
+            if base in dirty:
+                continue
+            if self._cache.get((seg.pair, base)) is not None:
+                continue
+            return False
+        return True
+
+    def _cache_fill(self, seg) -> None:
+        """Replicate a missed segment's units into the logging space."""
+        if self._cache.capacity == 0 or self._mode is not _Mode.LOGGING:
+            return
+        unit = self.config.stripe_unit
+        self._rr += 1
+        use_primary = self._rr % 2 == 0
+        region = (
+            self.primary_logs[self._duty_pair]
+            if use_primary
+            else self.mirror_logs[self._duty_pair]
+        )
+        disk = self._duty_disks()[0 if use_primary else 1]
+        first = (seg.disk_offset // unit) * unit
+        last = ((seg.end_offset - 1) // unit) * unit
+        for base in range(first, last + 1, unit):
+            key = (seg.pair, base)
+            if key in self._cache or not region.fits(unit):
+                continue
+            offset = region.charge_cache(unit)
+            evicted = self._cache.put(key, (use_primary, offset, unit))
+            if evicted is not None:
+                _, (ev_primary, ev_offset, ev_nbytes) = evicted
+                ev_region = (
+                    self.primary_logs[self._duty_pair]
+                    if ev_primary
+                    else self.mirror_logs[self._duty_pair]
+                )
+                ev_region.release_cache(ev_offset, ev_nbytes)
+            disk.submit(
+                DiskOp(
+                    OpKind.WRITE,
+                    offset // 512,
+                    unit,
+                    priority=Priority.BACKGROUND,
+                    sequential_hint=True,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Centralized destage + rotation
+    # ------------------------------------------------------------------
+    def _begin_destage(self) -> None:
+        if self._mode is not _Mode.LOGGING:
+            return
+        self._mode = _Mode.SPINNING
+        now = self.sim.now
+        self._cycle.destage_start = now
+        self._cycle.energy_at_destage_start = self.total_energy_now()
+        for disk in self.primaries + self.mirrors:
+            self._sleep_timers[disk].cancel()
+            self._cancel_sleep(disk)
+            disk.request_spin_up()
+        self._poll_spun_up()
+
+    def _poll_spun_up(self) -> None:
+        """Wait until the whole array is spinning, then snapshot + destage.
+
+        Logging continues into the headroom above the destage threshold
+        during this window, so the snapshot taken below also covers writes
+        that arrived while the array was waking."""
+        if not all(d.state.spun_up for d in self.primaries + self.mirrors):
+            self.sim.schedule(0.5, self._poll_spun_up, label="rolo-e:poll")
+            return
+        self._start_destage_processes()
+
+    def _start_destage_processes(self) -> None:
+        self._mode = _Mode.DESTAGING
+        p_disk, m_disk = self._duty_disks()
+        self._active_processes = 0
+        for pair in range(self.config.n_pairs):
+            units = self._dirty[pair]
+            if not units:
+                continue
+            self._dirty[pair] = set()
+            self._rr += 1
+            source = p_disk if self._rr % 2 == 0 else m_disk
+            targets = [self.primaries[pair], self.mirrors[pair]]
+            if source in targets:
+                source = m_disk if source is p_disk else p_disk
+                if source in targets:
+                    # Destaging the duty pair itself: copy mirror->primary.
+                    source = m_disk
+                    targets = [self.primaries[pair]]
+            process = DestageProcess(
+                self.sim,
+                name=f"rolo-e-destage-{pair}",
+                source=source,
+                targets=targets,
+                units=sorted(units),
+                unit_size=self.config.stripe_unit,
+                batch_bytes=self.config.destage_batch_bytes,
+                idle_gated=False,
+                idle_grace_s=0.0,
+                on_complete=self._process_done,
+            )
+            self._active_processes += 1
+            process.start()
+        if self._active_processes == 0:
+            self._end_destage()
+
+    def _process_done(self, process: DestageProcess) -> None:
+        self.metrics.destaged_bytes += process.bytes_moved
+        self._active_processes -= 1
+        if self._active_processes == 0:
+            self._end_destage()
+
+    def _end_destage(self) -> None:
+        now = self.sim.now
+        for region in self.primary_logs + self.mirror_logs:
+            region.reset()
+        self._cache.clear()
+        self._cycle.destage_end = now
+        self._cycle.energy_at_destage_end = self.total_energy_now()
+        self.metrics.cycles.append(self._cycle)
+        self.metrics.destage_cycles += 1
+        self._cycle = CycleWindow(
+            logging_start=now,
+            energy_at_logging_start=self.total_energy_now(),
+        )
+        self._duty_pair = (self._duty_pair + 1) % self.config.n_pairs
+        self.metrics.rotations += 1
+        self._mode = _Mode.LOGGING
+        duty = (self.primaries[self._duty_pair], self.mirrors[self._duty_pair])
+        for disk in self.primaries + self.mirrors:
+            if disk not in duty:
+                self._sleep_when_quiet(disk)
+
+    def drain(self) -> None:
+        if self.dirty_units_total() and self._mode is _Mode.LOGGING:
+            self._begin_destage()

@@ -1,0 +1,18 @@
+"""RoLo-P: the performance-oriented flavor (paper §III-B1).
+
+All primary disks stay ACTIVE/IDLE so reads never pay a spin-up; one (or a
+few, ``n_on_duty``) mirrored disks serve as the rotating on-duty logger
+holding the second copy of each write; off-duty mirrors sleep in STANDBY.
+Everything else — rotation, decentralized destaging, proactive reclamation,
+de-activation fallback — lives in
+:class:`~repro.core.rolo_common.RotatedLoggingController`.
+"""
+
+from __future__ import annotations
+
+from repro.core.rolo_common import RotatedLoggingController
+
+
+class RoloPController(RotatedLoggingController):
+    scheme_name = "RoLo-P"
+    log_to_primary_too = False

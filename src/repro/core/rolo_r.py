@@ -1,0 +1,17 @@
+"""RoLo-R: the reliability-oriented flavor (paper §III-B2).
+
+Identical to RoLo-P except the on-duty logger is a mirrored *pair*: each
+write lands in three places — in place on its target primary, and appended
+to the log regions of both disks of the on-duty pair.  The extra copy costs
+a few percent of response time (Table IV) but raises MTTDL above RAID10
+(Fig. 9).
+"""
+
+from __future__ import annotations
+
+from repro.core.rolo_common import RotatedLoggingController
+
+
+class RoloRController(RotatedLoggingController):
+    scheme_name = "RoLo-R"
+    log_to_primary_too = True

@@ -1,0 +1,73 @@
+"""Logger rotation policy (paper §III-A).
+
+The rotation policy answers one question: when the on-duty logger fills past
+the rotate threshold, *which* logger goes on duty next?  The paper rotates
+round-robin through the mirrored disks, skipping any whose stale space has
+not yet been reclaimed enough to accept a new logging period.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+
+class RotationPolicy:
+    """Round-robin rotation over ``n`` candidate loggers.
+
+    ``occupancy(i)`` must return the current log occupancy (0..1) of
+    candidate ``i``; a candidate is eligible when its occupancy is below
+    ``threshold``.  When no candidate is eligible the array must fall back
+    to in-place mirroring (the paper's RoLo de-activation, §III-E) —
+    :meth:`next_logger` then returns ``None``.
+    """
+
+    def __init__(
+        self,
+        n_candidates: int,
+        threshold: float,
+        occupancy: Callable[[int], float],
+    ) -> None:
+        if n_candidates < 2:
+            raise ValueError("rotation needs at least two candidates")
+        if not 0 < threshold <= 1:
+            raise ValueError("threshold must be in (0, 1]")
+        self.n_candidates = n_candidates
+        self.threshold = threshold
+        self._occupancy = occupancy
+        self.rotations = 0
+
+    def next_logger(
+        self, current: int, excluded: Iterable[int] = ()
+    ) -> Optional[int]:
+        """Pick the next on-duty logger after ``current``.
+
+        Scans round-robin starting at ``current + 1``, skipping ``excluded``
+        candidates (loggers already on duty); returns ``None`` when every
+        other candidate is still above the threshold (RoLo must deactivate
+        until reclamation catches up).
+        """
+        if not 0 <= current < self.n_candidates:
+            raise ValueError(f"current logger {current} out of range")
+        candidate = self.peek_next(current, excluded)
+        if candidate is not None:
+            self.rotations += 1
+        return candidate
+
+    def peek_next(
+        self, current: int, excluded: Iterable[int] = ()
+    ) -> Optional[int]:
+        """Like :meth:`next_logger` but without committing the rotation.
+
+        Used to *pre-wake* the next on-duty logger before the current one
+        fills, so foreground writes never stall behind a spin-up.
+        """
+        if not 0 <= current < self.n_candidates:
+            raise ValueError(f"current logger {current} out of range")
+        skip = set(excluded)
+        for step in range(1, self.n_candidates):
+            candidate = (current + step) % self.n_candidates
+            if candidate in skip:
+                continue
+            if self._occupancy(candidate) < self.threshold:
+                return candidate
+        return None

@@ -1,0 +1,34 @@
+"""Disk simulator substrate.
+
+Replaces DiskSim + the Dempsey power model: mechanical timing
+(:mod:`repro.disk.mechanical`), power-state accounting
+(:mod:`repro.disk.power`), drive parameter sheets
+(:mod:`repro.disk.models`), and the event-driven disk server itself
+(:mod:`repro.disk.disk`).
+"""
+
+from repro.disk.disk import Disk, DiskOp, OpKind, Priority, Scheduler
+from repro.disk.mechanical import MechanicalModel
+from repro.disk.models import (
+    CHEETAH_15K5,
+    DISK_MODELS,
+    ULTRASTAR_36Z15,
+    DiskSpec,
+)
+from repro.disk.power import EnergyAccountant, PowerModel, PowerState
+
+__all__ = [
+    "Disk",
+    "DiskOp",
+    "OpKind",
+    "Priority",
+    "Scheduler",
+    "MechanicalModel",
+    "DiskSpec",
+    "ULTRASTAR_36Z15",
+    "CHEETAH_15K5",
+    "DISK_MODELS",
+    "PowerState",
+    "PowerModel",
+    "EnergyAccountant",
+]

@@ -1,0 +1,369 @@
+"""Event-driven disk server.
+
+A :class:`Disk` owns a two-priority FIFO queue (foreground user I/O ahead of
+background destaging I/O), a mechanical model for service times, and a power
+state machine with energy accounting.  Controllers interact with it through
+:meth:`submit`, :meth:`request_spin_up` and :meth:`request_spin_down`, and can
+subscribe to idle notifications to drive idle-slot destaging.
+"""
+
+from __future__ import annotations
+
+import collections
+import enum
+from typing import Callable, Deque, List, Optional
+
+from repro.disk.mechanical import MechanicalModel
+from repro.disk.models import DiskSpec
+from repro.disk.power import EnergyAccountant, PowerModel, PowerState
+from repro.sim.engine import Simulator
+from repro.sim.stats import Histogram
+
+
+class DiskFailedError(RuntimeError):
+    """Raised when I/O is submitted to a failed disk."""
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class Priority(enum.IntEnum):
+    """Queue priorities.  Lower value is served first."""
+
+    FOREGROUND = 0
+    BACKGROUND = 1
+
+
+class Scheduler(enum.Enum):
+    """Queue service order within a priority class.
+
+    FCFS is strictly arrival-ordered; SSTF serves the request whose start
+    sector is closest to the current head position (classic shortest-seek-
+    time-first, as in DiskSim's queue policies).  Priorities still trump
+    the scheduler: all queued foreground work is considered before any
+    background work.
+    """
+
+    FCFS = "fcfs"
+    SSTF = "sstf"
+
+
+class DiskOp:
+    """A single disk operation (one contiguous extent on one disk)."""
+
+    __slots__ = (
+        "kind",
+        "sector",
+        "nbytes",
+        "priority",
+        "on_complete",
+        "tag",
+        "sequential_hint",
+        "submit_time",
+        "start_time",
+        "finish_time",
+    )
+
+    def __init__(
+        self,
+        kind: OpKind,
+        sector: int,
+        nbytes: int,
+        priority: Priority = Priority.FOREGROUND,
+        on_complete: Optional[Callable[["DiskOp"], None]] = None,
+        tag: object = None,
+        sequential_hint: bool = False,
+    ) -> None:
+        if sector < 0:
+            raise ValueError("negative sector")
+        if nbytes <= 0:
+            raise ValueError("op size must be positive")
+        self.kind = kind
+        self.sector = sector
+        self.nbytes = nbytes
+        self.priority = priority
+        self.on_complete = on_complete
+        self.tag = tag
+        #: When True the op is costed as sequential regardless of the head
+        #: position (used for log appends, whose placement the log-space
+        #: manager guarantees to be contiguous).
+        self.sequential_hint = sequential_hint
+        self.submit_time: float = -1.0
+        self.start_time: float = -1.0
+        self.finish_time: float = -1.0
+
+    @property
+    def latency(self) -> float:
+        """Queueing + service latency; valid after completion."""
+        return self.finish_time - self.submit_time
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<DiskOp {self.kind.value} sector={self.sector} "
+            f"bytes={self.nbytes} prio={self.priority.name}>"
+        )
+
+
+class Disk:
+    """One simulated drive.
+
+    Power policy is owned by the *controller*: the disk never spins itself
+    down, but an arriving operation on a STANDBY disk transparently triggers
+    a spin up (the arrival pays the spin-up latency, as in the paper's
+    read-miss analysis for RoLo-E).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: DiskSpec,
+        name: str,
+        initial_state: PowerState = PowerState.IDLE,
+        scheduler: Scheduler = Scheduler.FCFS,
+    ) -> None:
+        if initial_state not in (PowerState.IDLE, PowerState.STANDBY):
+            raise ValueError("disks start IDLE or STANDBY")
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.scheduler = scheduler
+        self.mechanics = MechanicalModel(spec)
+        self.power = EnergyAccountant(
+            PowerModel(spec), sim.now, initial_state
+        )
+        self._queues: List[Deque[DiskOp]] = [
+            collections.deque() for _ in Priority
+        ]
+        self._in_service: Optional[DiskOp] = None
+        self._head_sector = 0
+        self._wake_after_down = False
+        self._idle_listeners: List[Callable[["Disk"], None]] = []
+        # Cumulative statistics.
+        self.ops_completed = 0
+        self.bytes_transferred = 0
+        self.busy_time = 0.0
+        self.foreground_ops = 0
+        self.background_ops = 0
+        #: Lengths of spun-up idle slots (time between draining the queue
+        #: and the next op starting), the §II Fig. 3 raw material.
+        self.idle_gap_histogram = Histogram.exponential(0.01, 2.0, 24)
+        self._idle_since: float = sim.now if initial_state.spun_up else -1.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> PowerState:
+        return self.power.state
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    @property
+    def pending_foreground(self) -> int:
+        """Foreground ops queued or in service."""
+        in_service = (
+            1
+            if self._in_service is not None
+            and self._in_service.priority is Priority.FOREGROUND
+            else 0
+        )
+        return len(self._queues[Priority.FOREGROUND]) + in_service
+
+    @property
+    def busy(self) -> bool:
+        return self._in_service is not None
+
+    @property
+    def is_quiet(self) -> bool:
+        """Spun up, nothing in service, nothing queued."""
+        return (
+            self.state is PowerState.IDLE
+            and not self.busy
+            and self.queue_depth == 0
+        )
+
+    def add_idle_listener(self, callback: Callable[["Disk"], None]) -> None:
+        """``callback(disk)`` fires whenever the disk drains to quiet."""
+        self._idle_listeners.append(callback)
+
+    def remove_idle_listener(self, callback: Callable[["Disk"], None]) -> None:
+        """Detach a previously registered idle listener (no-op if absent)."""
+        try:
+            self._idle_listeners.remove(callback)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # I/O path
+    # ------------------------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        return self.state is PowerState.FAILED
+
+    def fail(self) -> None:
+        """Inject a whole-disk failure.
+
+        The failure model is fail-stop between operations: injecting with
+        work in flight or queued is rejected so completion fan-ins cannot
+        dangle.  A failed disk rejects all further I/O and power requests.
+        """
+        if self.busy or self.queue_depth:
+            raise ValueError(
+                f"{self.name}: failure injection requires a quiet disk"
+            )
+        self._idle_since = -1.0
+        self.power.transition(self.sim.now, PowerState.FAILED)
+
+    def submit(self, op: DiskOp) -> None:
+        """Queue an operation; wakes the disk if it is asleep."""
+        if self.failed:
+            raise DiskFailedError(f"{self.name} has failed")
+        op.submit_time = self.sim.now
+        self._queues[op.priority].append(op)
+        if self.state is PowerState.STANDBY:
+            self._begin_spin_up()
+        elif self.state is PowerState.SPINNING_DOWN:
+            self._wake_after_down = True
+        else:
+            self._try_start()
+
+    def _next_op(self) -> Optional[DiskOp]:
+        for queue in self._queues:
+            if not queue:
+                continue
+            if self.scheduler is Scheduler.FCFS or len(queue) == 1:
+                return queue.popleft()
+            head_cylinder = self.mechanics.cylinder_of(self._head_sector)
+            best_index = min(
+                range(len(queue)),
+                key=lambda i: abs(
+                    self.mechanics.cylinder_of(queue[i].sector)
+                    - head_cylinder
+                ),
+            )
+            best = queue[best_index]
+            del queue[best_index]
+            return best
+        return None
+
+    def _try_start(self) -> None:
+        if self._in_service is not None or not self.state.spun_up:
+            return
+        op = self._next_op()
+        if op is None:
+            return
+        self._in_service = op
+        op.start_time = self.sim.now
+        if self._idle_since >= 0:
+            gap = self.sim.now - self._idle_since
+            if gap > 0:
+                self.idle_gap_histogram.add(gap)
+            self._idle_since = -1.0
+        if self.state is not PowerState.ACTIVE:
+            self.power.transition(self.sim.now, PowerState.ACTIVE)
+        if op.sequential_hint:
+            service = self.spec.transfer_time(op.nbytes)
+        else:
+            service = self.mechanics.service_time(
+                self._head_sector, op.sector, op.nbytes
+            )
+        self.sim.schedule(service, self._complete, op, label=f"{self.name}:io")
+
+    def _complete(self, op: DiskOp) -> None:
+        now = self.sim.now
+        op.finish_time = now
+        self._head_sector = self.mechanics.end_sector(op.sector, op.nbytes)
+        self._in_service = None
+        self.ops_completed += 1
+        self.bytes_transferred += op.nbytes
+        self.busy_time += now - op.start_time
+        if op.priority is Priority.FOREGROUND:
+            self.foreground_ops += 1
+        else:
+            self.background_ops += 1
+        if op.on_complete is not None:
+            op.on_complete(op)
+        if self.queue_depth:
+            self._try_start()
+        else:
+            if self.state is PowerState.ACTIVE:
+                self.power.transition(now, PowerState.IDLE)
+            self._idle_since = now
+            self._notify_idle()
+
+    def _notify_idle(self) -> None:
+        if not self.is_quiet:
+            return
+        for listener in list(self._idle_listeners):
+            listener(self)
+            if not self.is_quiet:  # a listener issued new work
+                break
+
+    # ------------------------------------------------------------------
+    # Power management
+    # ------------------------------------------------------------------
+    def request_spin_up(self) -> bool:
+        """Proactively spin the disk up.  Returns True if a spin up started
+        or the disk is already (coming) up."""
+        if self.failed:
+            return False
+        state = self.state
+        if state.spun_up or state is PowerState.SPINNING_UP:
+            return True
+        if state is PowerState.SPINNING_DOWN:
+            self._wake_after_down = True
+            return True
+        self._begin_spin_up()
+        return True
+
+    def request_spin_down(self) -> bool:
+        """Spin down if fully quiet.  Returns False (and does nothing) when
+        the disk is busy, queued, or already down/transitioning."""
+        if not self.is_quiet:
+            return False
+        self._idle_since = -1.0
+        self.power.transition(self.sim.now, PowerState.SPINNING_DOWN)
+        self.sim.schedule(
+            self.spec.spin_down_time,
+            self._spin_down_done,
+            label=f"{self.name}:down",
+        )
+        return True
+
+    def _begin_spin_up(self) -> None:
+        if self.state is not PowerState.STANDBY:
+            return
+        self.power.transition(self.sim.now, PowerState.SPINNING_UP)
+        self.sim.schedule(
+            self.spec.spin_up_time,
+            self._spin_up_done,
+            label=f"{self.name}:up",
+        )
+
+    def _spin_up_done(self) -> None:
+        self.power.transition(self.sim.now, PowerState.IDLE)
+        if self.queue_depth:
+            self._try_start()
+        else:
+            self._idle_since = self.sim.now
+            self._notify_idle()
+
+    def _spin_down_done(self) -> None:
+        self.power.transition(self.sim.now, PowerState.STANDBY)
+        if self._wake_after_down or self.queue_depth:
+            self._wake_after_down = False
+            self._begin_spin_up()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Finalize energy accounting at the current instant."""
+        self.power.close(self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Disk {self.name} {self.state.value} depth={self.queue_depth}>"
+        )

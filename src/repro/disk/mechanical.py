@@ -1,0 +1,84 @@
+"""Mechanical timing model: seek curve, rotational latency, transfer.
+
+We use the standard square-root seek curve (seek time grows with the square
+root of cylinder distance, clamped between the track-to-track and full-stroke
+times) that DiskSim's synthetic drives use.  LBAs are mapped to cylinders
+linearly; zoning is deliberately omitted — the paper's results depend on the
+sequential-vs-random distinction, not zone bit recording.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.disk.models import SECTOR_SIZE, DiskSpec
+
+
+class MechanicalModel:
+    """Computes per-operation service times for one drive.
+
+    The model keeps no state; callers pass the previous head position so a
+    single instance can be shared between disks of the same spec.
+    """
+
+    def __init__(self, spec: DiskSpec) -> None:
+        self.spec = spec
+        self._sectors_per_cylinder = max(
+            1, spec.capacity_sectors // spec.cylinders
+        )
+        # Calibrate seek(d) = a + b * sqrt(d) so that the mean over a
+        # uniformly random pair of cylinders equals avg_seek_time and the
+        # full stroke equals full_stroke_seek_time.  For X, Y uniform on
+        # [0, C], E[sqrt(|X-Y|)] = (8/15) * sqrt(C).
+        c = float(spec.cylinders)
+        mean_sqrt_dist = (8.0 / 15.0) * math.sqrt(c)
+        denom = math.sqrt(c) - mean_sqrt_dist
+        if denom <= 0:  # pragma: no cover - degenerate tiny geometry
+            self._seek_a = spec.avg_seek_time
+            self._seek_b = 0.0
+        else:
+            self._seek_b = (
+                spec.full_stroke_seek_time - spec.avg_seek_time
+            ) / denom
+            self._seek_a = spec.full_stroke_seek_time - self._seek_b * math.sqrt(c)
+
+    def cylinder_of(self, sector: int) -> int:
+        """Cylinder holding ``sector`` (linear mapping)."""
+        if sector < 0:
+            raise ValueError("negative sector")
+        return min(
+            sector // self._sectors_per_cylinder, self.spec.cylinders - 1
+        )
+
+    def seek_time(self, from_sector: int, to_sector: int) -> float:
+        """Head movement time between two sectors."""
+        distance = abs(
+            self.cylinder_of(to_sector) - self.cylinder_of(from_sector)
+        )
+        if distance == 0:
+            return 0.0
+        raw = self._seek_a + self._seek_b * math.sqrt(distance)
+        return min(
+            self.spec.full_stroke_seek_time,
+            max(self.spec.track_to_track_seek_time, raw),
+        )
+
+    def service_time(
+        self, head_sector: int, start_sector: int, nbytes: int
+    ) -> float:
+        """Total service time of an op starting at ``start_sector``.
+
+        A perfectly sequential op (head already at ``start_sector``) pays
+        transfer time only — this is what makes log appends cheap.  Any
+        other op pays seek + expected rotational latency + transfer.
+        """
+        transfer = self.spec.transfer_time(nbytes)
+        if head_sector == start_sector:
+            return transfer
+        seek = self.seek_time(head_sector, start_sector)
+        return seek + self.spec.avg_rotational_latency + transfer
+
+    @staticmethod
+    def end_sector(start_sector: int, nbytes: int) -> int:
+        """Head position after transferring ``nbytes`` from ``start_sector``."""
+        return start_sector + (nbytes + SECTOR_SIZE - 1) // SECTOR_SIZE

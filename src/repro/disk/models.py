@@ -1,0 +1,151 @@
+"""Drive parameter sheets.
+
+The paper's testbed drive is the IBM Ultrastar 36Z15 (Table II).  A Seagate
+Cheetah 15K.5 sheet is included because the paper names it as future work for
+the disk-size sensitivity study.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Sector size used throughout the simulator (bytes).
+SECTOR_SIZE = 512
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskSpec:
+    """Static description of a disk drive.
+
+    Times are seconds, power in watts, energy in joules, capacity and rates
+    in bytes / bytes-per-second.
+    """
+
+    name: str
+    capacity_bytes: int
+    rpm: int
+    avg_seek_time: float
+    track_to_track_seek_time: float
+    full_stroke_seek_time: float
+    sustained_transfer_rate: float
+    power_active: float
+    power_idle: float
+    power_standby: float
+    spin_down_energy: float
+    spin_up_energy: float
+    spin_down_time: float
+    spin_up_time: float
+    cylinders: int = 18_000
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if self.sustained_transfer_rate <= 0:
+            raise ValueError("transfer rate must be positive")
+        if not (
+            0
+            <= self.track_to_track_seek_time
+            <= self.avg_seek_time
+            <= self.full_stroke_seek_time
+        ):
+            raise ValueError("seek times must satisfy track<=avg<=full")
+        if self.rpm <= 0:
+            raise ValueError("rpm must be positive")
+
+    @property
+    def rotation_time(self) -> float:
+        """One full platter revolution, seconds."""
+        return 60.0 / self.rpm
+
+    @property
+    def avg_rotational_latency(self) -> float:
+        """Half a revolution — the expected rotational delay of a random op."""
+        return self.rotation_time / 2.0
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.capacity_bytes // SECTOR_SIZE
+
+    @property
+    def break_even_time(self) -> float:
+        """Shortest idle interval worth a spin down/up round trip.
+
+        Solves  P_idle * T  =  E_down + E_up + P_standby * (T - t_d - t_u)
+        — the §II criterion for whether an idle slot can save energy.
+        """
+        transition_energy = self.spin_down_energy + self.spin_up_energy
+        transition_time = self.spin_down_time + self.spin_up_time
+        saved_rate = self.power_idle - self.power_standby
+        if saved_rate <= 0:  # pragma: no cover - degenerate spec
+            return float("inf")
+        return (
+            transition_energy - self.power_standby * transition_time
+        ) / saved_rate
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Media transfer time for ``nbytes`` at the sustained rate."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return nbytes / self.sustained_transfer_rate
+
+    def scaled(self, capacity_bytes: int) -> "DiskSpec":
+        """A copy of this spec with a different capacity.
+
+        Used for the paper's disk-size sensitivity study (§V-C) and for the
+        time-scaled experiment replicas described in DESIGN.md.  Mechanical
+        and power characteristics are unchanged, matching the paper's
+        "unalterable disk I/O performance" condition.
+        """
+        return dataclasses.replace(
+            self,
+            capacity_bytes=int(capacity_bytes),
+            name=f"{self.name}@{capacity_bytes / GB:.3g}GB",
+        )
+
+
+#: IBM Ultrastar 36Z15, parameters from Table II of the paper.
+ULTRASTAR_36Z15 = DiskSpec(
+    name="IBM Ultrastar 36Z15",
+    capacity_bytes=int(18.4 * GB),
+    rpm=15_000,
+    avg_seek_time=3.4e-3,
+    track_to_track_seek_time=0.6e-3,
+    full_stroke_seek_time=7.2e-3,
+    sustained_transfer_rate=55 * MB,
+    power_active=13.5,
+    power_idle=10.2,
+    power_standby=2.5,
+    spin_down_energy=13.0,
+    spin_up_energy=135.0,
+    spin_down_time=1.5,
+    spin_up_time=10.9,
+)
+
+#: Seagate Cheetah 15K.5 (datasheet values; named in §V-C as future work).
+CHEETAH_15K5 = DiskSpec(
+    name="Seagate Cheetah 15K.5",
+    capacity_bytes=int(146.8 * GB),
+    rpm=15_000,
+    avg_seek_time=3.5e-3,
+    track_to_track_seek_time=0.4e-3,
+    full_stroke_seek_time=7.4e-3,
+    sustained_transfer_rate=125 * MB,
+    power_active=17.0,
+    power_idle=12.0,
+    power_standby=2.6,
+    spin_down_energy=15.0,
+    spin_up_energy=150.0,
+    spin_down_time=1.5,
+    spin_up_time=10.0,
+    cylinders=50_000,
+)
+
+DISK_MODELS: Dict[str, DiskSpec] = {
+    "ultrastar36z15": ULTRASTAR_36Z15,
+    "cheetah15k5": CHEETAH_15K5,
+}

@@ -1,0 +1,52 @@
+"""Experiment harness: one registered experiment per paper table/figure.
+
+Usage::
+
+    from repro.experiments import get_experiment, list_experiments
+
+    report = get_experiment("fig10").run(scale=0.05)
+    print(report.to_text())
+
+Every experiment returns a :class:`~repro.experiments.report.Report` whose
+tables/series mirror the rows the paper plots.  ``scale`` shrinks the
+replayed horizon together with the log capacities (DESIGN.md §3).
+"""
+
+from repro.experiments.registry import (
+    Experiment,
+    get_experiment,
+    list_experiments,
+    register,
+)
+from repro.experiments.report import Report, Series, Table
+from repro.experiments.runner import clear_cache, simulate_workload
+
+# Importing the modules registers their experiments.
+from repro.experiments import (  # noqa: F401  (import for side effects)
+    breakdown,
+    fig2,
+    fig3,
+    fig9,
+    fig10,
+    fig11_12,
+    fig13,
+    fig14,
+    idleslots,
+    raid5,
+    recovery,
+    sensitivity,
+    tables,
+    variance,
+)
+
+__all__ = [
+    "Experiment",
+    "get_experiment",
+    "list_experiments",
+    "register",
+    "Report",
+    "Series",
+    "Table",
+    "simulate_workload",
+    "clear_cache",
+]

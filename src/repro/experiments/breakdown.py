@@ -1,0 +1,71 @@
+"""Extension experiment: where each scheme's energy actually goes.
+
+Decomposes the Fig. 10 runs into per-power-state energy (active / idle /
+standby / spin transitions).  This makes the paper's mechanisms visible
+directly: RAID10 burns everything in IDLE; GRAID/RoLo-P shift half the
+mirror fleet's time to STANDBY; RoLo-E parks the primaries too; and the
+cost of centralized designs shows up in the SPINNING columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.disk.power import PowerState
+from repro.experiments.registry import register
+from repro.experiments.report import Report, Table
+from repro.experiments.runner import run_scheme_set
+
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+
+
+@register(
+    "ext-breakdown",
+    "Per-power-state energy decomposition (extension)",
+    "explains Fig. 10(a)",
+)
+def run(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    workloads: Iterable[str] = ("src2_2", "proj_0"),
+    seed: int = 42,
+) -> Report:
+    report = Report("ext-breakdown", "Energy decomposition by power state")
+    report.parameters = {"n_pairs": n_pairs}
+    table = report.add_table(
+        Table(
+            "energy share by power state",
+            [
+                "workload",
+                "scheme",
+                "active",
+                "idle",
+                "standby",
+                "spin_transitions",
+                "total_kJ",
+            ],
+            note="shares of total energy; spin = spinning up + down",
+        )
+    )
+    for workload in workloads:
+        results = run_scheme_set(
+            workload, SCHEMES, scale=scale, n_pairs=n_pairs, seed=seed
+        )
+        for scheme in SCHEMES:
+            metrics = results[scheme]
+            total = metrics.total_energy_j or 1.0
+            by_state = metrics.energy_by_state
+            spin = (
+                by_state.get(PowerState.SPINNING_UP, 0.0)
+                + by_state.get(PowerState.SPINNING_DOWN, 0.0)
+            )
+            table.add_row(
+                workload,
+                scheme,
+                by_state.get(PowerState.ACTIVE, 0.0) / total,
+                by_state.get(PowerState.IDLE, 0.0) / total,
+                by_state.get(PowerState.STANDBY, 0.0) / total,
+                spin / total,
+                metrics.total_energy_j / 1e3,
+            )
+    return report

@@ -1,0 +1,80 @@
+"""Figure 10: energy and response time of all five schemes, normalized to
+RAID10, under src2_2 and proj_0 (the paper's headline comparison)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.experiments.registry import register
+from repro.experiments.report import Report, Series, Table
+from repro.experiments.runner import run_scheme_set
+
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+WORKLOADS = ("proj_0", "src2_2")
+
+
+@register(
+    "fig10",
+    "Energy and mean response time normalized to RAID10",
+    "Figure 10 (a-b), Table IV",
+)
+def run(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+) -> Report:
+    report = Report("fig10", "Main five-scheme comparison")
+    report.parameters = {"n_pairs": n_pairs, "scale": scale or "default"}
+    energy = report.add_table(
+        Table(
+            "Fig 10(a): energy consumption (normalized to RAID10)",
+            ["workload"] + list(SCHEMES),
+        )
+    )
+    response = report.add_table(
+        Table(
+            "Fig 10(b): average response time (normalized to RAID10)",
+            ["workload"] + list(SCHEMES),
+        )
+    )
+    absolute = report.add_table(
+        Table(
+            "absolute values",
+            ["workload", "scheme", "mean_rt_ms", "energy_kJ", "mean_power_W"],
+        )
+    )
+    for workload in workloads:
+        results = run_scheme_set(
+            workload, SCHEMES, scale=scale, n_pairs=n_pairs, seed=seed
+        )
+        base = results["raid10"]
+        energy.add_row(
+            workload,
+            *(
+                results[s].total_energy_j / base.total_energy_j
+                for s in SCHEMES
+            ),
+        )
+        response.add_row(
+            workload,
+            *(
+                results[s].response_time.mean / base.response_time.mean
+                for s in SCHEMES
+            ),
+        )
+        for scheme in SCHEMES:
+            m = results[scheme]
+            absolute.add_row(
+                workload,
+                scheme,
+                m.mean_response_time_ms,
+                m.total_energy_j / 1e3,
+                m.mean_power_w,
+            )
+            report.add_series(
+                Series(
+                    f"energy-{workload}-{scheme}", "workload", "normalized"
+                )
+            ).add(workload, m.total_energy_j / base.total_energy_j)
+    return report

@@ -1,0 +1,99 @@
+"""Figures 11 and 12: sensitivity to the number of disks.
+
+The paper runs 20/30/40-disk arrays (10/15/20 mirrored pairs, plus one log
+disk for GRAID).  Fig. 11 reports energy saved over RAID10; Fig. 12 the
+absolute mean response times.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.experiments.registry import register
+from repro.experiments.report import Report, Series, Table
+from repro.experiments.runner import run_scheme_set
+
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+WORKLOADS = ("src2_2", "proj_0")
+PAIR_COUNTS = (10, 15, 20)
+
+
+def _run_sweep(
+    scale: Optional[float],
+    pair_counts: Iterable[int],
+    workloads: Iterable[str],
+    seed: int,
+):
+    for workload in workloads:
+        for n_pairs in pair_counts:
+            yield workload, n_pairs, run_scheme_set(
+                workload, SCHEMES, scale=scale, n_pairs=n_pairs, seed=seed
+            )
+
+
+@register(
+    "fig11",
+    "Energy saved over RAID10 as a function of the number of disks",
+    "Figure 11 (a-b)",
+)
+def run_fig11(
+    scale: Optional[float] = None,
+    pair_counts: Iterable[int] = PAIR_COUNTS,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+) -> Report:
+    report = Report("fig11", "Energy saving vs array size")
+    table = report.add_table(
+        Table(
+            "Fig 11: energy saved over RAID10",
+            ["workload", "n_disks", "graid", "rolo-p", "rolo-r", "rolo-e"],
+        )
+    )
+    series = {
+        (w, s): report.add_series(
+            Series(f"saving-{w}-{s}", "n_disks", "fraction saved")
+        )
+        for w in workloads
+        for s in SCHEMES[1:]
+    }
+    for workload, n_pairs, results in _run_sweep(
+        scale, pair_counts, workloads, seed
+    ):
+        base = results["raid10"].total_energy_j
+        savings = [
+            1 - results[s].total_energy_j / base for s in SCHEMES[1:]
+        ]
+        table.add_row(workload, 2 * n_pairs, *savings)
+        for scheme, saving in zip(SCHEMES[1:], savings):
+            series[(workload, scheme)].add(2 * n_pairs, saving)
+    return report
+
+
+@register(
+    "fig12",
+    "Average response time as a function of the number of disks",
+    "Figure 12 (a-b)",
+)
+def run_fig12(
+    scale: Optional[float] = None,
+    pair_counts: Iterable[int] = PAIR_COUNTS,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+) -> Report:
+    report = Report("fig12", "Response time vs array size")
+    table = report.add_table(
+        Table(
+            "Fig 12: mean response time (ms)",
+            ["workload", "n_disks"] + list(SCHEMES),
+            note="the paper omits RoLo-E from its response-time sensitivity",
+        )
+    )
+    for workload, n_pairs, results in _run_sweep(
+        scale, pair_counts, workloads, seed
+    ):
+        table.add_row(
+            workload,
+            2 * n_pairs,
+            *(results[s].mean_response_time_ms for s in SCHEMES),
+        )
+    return report

@@ -1,0 +1,85 @@
+"""Figure 13: energy saved over GRAID as a function of free storage space.
+
+The paper varies the per-disk free (logging) space of RoLo between 8, 6 and
+4 GB while GRAID keeps its 16 GB dedicated log disk; savings shrink
+slightly with less free space because the logger must rotate (and spin
+disks) more often.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.experiments.registry import register
+from repro.experiments.report import Report, Series, Table
+from repro.experiments.runner import (
+    simulate_workload,
+    workload_scale,
+)
+
+GB = 1024**3
+
+ROLO_SCHEMES = ("rolo-p", "rolo-r", "rolo-e")
+WORKLOADS = ("src2_2", "proj_0")
+FREE_SPACE_GB = (8, 6, 4)
+
+
+@register(
+    "fig13",
+    "Energy saved over GRAID vs per-disk free storage space",
+    "Figure 13 (a-b)",
+)
+def run(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    free_space_gb: Iterable[float] = FREE_SPACE_GB,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+) -> Report:
+    report = Report("fig13", "Free-space sensitivity")
+    report.parameters = {"n_pairs": n_pairs}
+    table = report.add_table(
+        Table(
+            "Fig 13: energy saved over GRAID",
+            ["workload", "free_space_gb"] + list(ROLO_SCHEMES),
+        )
+    )
+    rotation_table = report.add_table(
+        Table(
+            "rotations per run (the paper's explanation)",
+            ["workload", "free_space_gb"] + list(ROLO_SCHEMES),
+        )
+    )
+    for workload in workloads:
+        effective = workload_scale(workload, scale)
+        graid = simulate_workload(
+            "graid", workload, scale=scale, n_pairs=n_pairs, seed=seed
+        )
+        for gb in free_space_gb:
+            free_bytes = int(gb * GB * effective)
+            savings = []
+            rotations = []
+            for scheme in ROLO_SCHEMES:
+                metrics = simulate_workload(
+                    scheme,
+                    workload,
+                    scale=scale,
+                    n_pairs=n_pairs,
+                    seed=seed,
+                    free_space_bytes=free_bytes,
+                )
+                savings.append(
+                    1 - metrics.total_energy_j / graid.total_energy_j
+                )
+                rotations.append(metrics.rotations)
+            table.add_row(workload, gb, *savings)
+            rotation_table.add_row(workload, gb, *rotations)
+            for scheme, saving in zip(ROLO_SCHEMES, savings):
+                name = f"saving-over-graid-{workload}-{scheme}"
+                series = report.get_series(name)
+                if series is None:
+                    series = report.add_series(
+                        Series(name, "free space (GB)", "fraction saved")
+                    )
+                series.add(gb, saving)
+    return report

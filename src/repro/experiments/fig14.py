@@ -1,0 +1,65 @@
+"""Figure 14: the five non-write-intensive traces (paper §V-C).
+
+mds_0, hm_1, rsrch_2, wdev_0 and web_1 exercise RoLo where it was *not*
+designed to win; the paper's claim is that its negative impact is
+negligible for RoLo-P/R while RoLo-E's response time degrades by orders of
+magnitude on read-heavy traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.experiments.registry import register
+from repro.experiments.report import Report, Table
+from repro.experiments.runner import run_scheme_set
+
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+WORKLOADS = ("mds_0", "hm_1", "rsrch_2", "wdev_0", "web_1")
+
+
+@register(
+    "fig14",
+    "Energy and response time under non-write-intensive traces",
+    "Figure 14 (a-b)",
+)
+def run(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+) -> Report:
+    report = Report("fig14", "Non-write-intensive workloads")
+    report.parameters = {"n_pairs": n_pairs}
+    energy = report.add_table(
+        Table(
+            "Fig 14(a): energy (normalized to RAID10)",
+            ["workload"] + list(SCHEMES),
+        )
+    )
+    response = report.add_table(
+        Table(
+            "Fig 14(b): mean response time (normalized to RAID10)",
+            ["workload"] + list(SCHEMES),
+        )
+    )
+    for workload in workloads:
+        results = run_scheme_set(
+            workload, SCHEMES, scale=scale, n_pairs=n_pairs, seed=seed
+        )
+        base = results["raid10"]
+        energy.add_row(
+            workload,
+            *(
+                results[s].total_energy_j / base.total_energy_j
+                for s in SCHEMES
+            ),
+        )
+        response.add_row(
+            workload,
+            *(
+                results[s].response_time.mean / base.response_time.mean
+                for s in SCHEMES
+            ),
+        )
+    return report

@@ -1,0 +1,142 @@
+"""Figure 2: why bigger logs don't help centralized logging (paper §II).
+
+A GRAID array (10 mirrored pairs + 1 dedicated log disk) replays 100%-write
+workloads of 64 KB requests, 70% random, at four intensities, for three
+logger capacities.  Panels:
+
+(a) mean logging / destaging interval lengths,
+(b) mean logging / destaging energies,
+(c) destaging interval ratio,
+(d) destaging energy ratio.
+
+The paper's observation: (a) and (b) grow with logger capacity while the
+ratios (c) and (d) stay flat — centralized destaging scales its cost with
+the logging capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core import ArrayConfig
+from repro.experiments.registry import register
+from repro.experiments.report import Report, Series, Table
+from repro.experiments.runner import simulate_synthetic
+from repro.traces.synthetic import SyntheticTraceConfig
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+IOPS_LEVELS = (10, 50, 100, 200)
+LOGGER_CAPACITIES_GB = (8, 12, 16)
+
+
+def _workload(
+    iops: float, duration_s: float, footprint: int, seed: int
+) -> SyntheticTraceConfig:
+    return SyntheticTraceConfig(
+        duration_s=duration_s,
+        iops=iops,
+        write_ratio=1.0,
+        avg_request_bytes=64 * KB,
+        size_sigma=0.0,
+        footprint_bytes=footprint,
+        write_sequential_fraction=0.3,  # 70% random
+        name=f"fig2-iops{iops}",
+        seed=seed,
+    )
+
+
+@register(
+    "fig2",
+    "Impact of logger capacity on destaging interval/energy ratios",
+    "Figure 2 (a-d)",
+)
+def run(
+    scale: float = 0.05,
+    iops_levels: Iterable[float] = IOPS_LEVELS,
+    capacities_gb: Iterable[float] = LOGGER_CAPACITIES_GB,
+    target_cycles: int = 3,
+    seed: int = 42,
+) -> Report:
+    report = Report("fig2", "Logger capacity study (GRAID)")
+    report.parameters = {"scale": scale, "target_cycles": target_cycles}
+    intervals = report.add_table(
+        Table(
+            "Fig 2(a): mean interval lengths (s)",
+            ["iops", "capacity_gb", "logging_interval", "destage_interval"],
+        )
+    )
+    energies = report.add_table(
+        Table(
+            "Fig 2(b): mean interval energies (kJ)",
+            ["iops", "capacity_gb", "logging_energy", "destage_energy"],
+        )
+    )
+    interval_ratio = report.add_table(
+        Table(
+            "Fig 2(c): destaging interval ratio",
+            ["iops", "capacity_gb", "ratio"],
+        )
+    )
+    energy_ratio = report.add_table(
+        Table(
+            "Fig 2(d): destaging energy ratio",
+            ["iops", "capacity_gb", "ratio"],
+        )
+    )
+    ratio_series: Dict[float, Series] = {}
+    for iops in iops_levels:
+        ratio_series[iops] = report.add_series(
+            Series(
+                f"destage-interval-ratio@iops={iops}",
+                "logger capacity (GB)",
+                "ratio",
+            )
+        )
+    for iops in iops_levels:
+        for capacity_gb in capacities_gb:
+            capacity = int(capacity_gb * GB * scale)
+            config = ArrayConfig(
+                n_pairs=10,
+                graid_log_capacity_bytes=max(capacity, 64 * MB // 8),
+                free_space_bytes=max(capacity // 2, 32 * MB // 8),
+            )
+            fill_rate = iops * 64 * KB
+            cycle_estimate = (
+                config.destage_threshold
+                * config.graid_log_capacity_bytes
+                / fill_rate
+            )
+            duration = max(60.0, target_cycles * cycle_estimate * 1.2)
+            footprint = max(
+                64 * MB, int(config.graid_log_capacity_bytes * 1.5)
+            )
+            workload = _workload(iops, duration, footprint, seed)
+            metrics = simulate_synthetic("graid", workload, config)
+            complete = [c for c in metrics.cycles if c.complete]
+            if not complete:
+                continue
+            mean_log = sum(c.logging_interval for c in complete) / len(
+                complete
+            )
+            mean_destage = sum(
+                c.destage_interval for c in complete
+            ) / len(complete)
+            mean_log_e = sum(c.logging_energy for c in complete) / len(
+                complete
+            )
+            mean_destage_e = sum(
+                c.destage_energy for c in complete
+            ) / len(complete)
+            intervals.add_row(iops, capacity_gb, mean_log, mean_destage)
+            energies.add_row(
+                iops, capacity_gb, mean_log_e / 1e3, mean_destage_e / 1e3
+            )
+            ir = metrics.destage_interval_ratio() or 0.0
+            er = metrics.destage_energy_ratio() or 0.0
+            interval_ratio.add_row(iops, capacity_gb, ir)
+            energy_ratio.add_row(iops, capacity_gb, er)
+            ratio_series[iops].add(capacity_gb, ir)
+    return report

@@ -1,0 +1,60 @@
+"""Experiment registry.
+
+Each paper artifact (figure or table) registers a callable producing a
+:class:`~repro.experiments.report.Report`.  Experiments accept ``scale``
+(trace time-scaling, DESIGN.md §3) and arbitrary keyword overrides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List
+
+from repro.experiments.report import Report
+
+RunFn = Callable[..., Report]
+
+_REGISTRY: Dict[str, "Experiment"] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artifact."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    run_fn: RunFn
+
+    def run(self, **kwargs) -> Report:
+        return self.run_fn(**kwargs)
+
+
+def register(
+    experiment_id: str, title: str, paper_ref: str
+) -> Callable[[RunFn], RunFn]:
+    """Decorator registering an experiment run function."""
+
+    def decorator(fn: RunFn) -> RunFn:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id, title, paper_ref, fn
+        )
+        return fn
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def list_experiments() -> List[Experiment]:
+    return sorted(_REGISTRY.values(), key=lambda e: e.experiment_id)

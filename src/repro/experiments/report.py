@@ -1,0 +1,146 @@
+"""Plain-text report rendering for experiment results.
+
+Experiments emit :class:`Table` (paper tables) and :class:`Series` (figure
+panels) objects collected in a :class:`Report`.  Rendering is deliberately
+dependency-free text so benchmark logs are self-contained.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclasses.dataclass
+class Table:
+    """A titled table with aligned plain-text rendering."""
+
+    title: str
+    headers: List[str]
+    rows: List[Sequence[Any]] = dataclasses.field(default_factory=list)
+    note: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(values)
+
+    def column(self, header: str) -> List[Any]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(
+                "  ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class Series:
+    """One curve of a figure: (x, y) points with axis labels."""
+
+    name: str
+    x_label: str
+    y_label: str
+    points: List[Tuple[Any, float]] = dataclasses.field(default_factory=list)
+
+    def add(self, x: Any, y: float) -> None:
+        self.points.append((x, y))
+
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    def render(self) -> str:
+        body = ", ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in self.points)
+        return f"{self.name} [{self.x_label} -> {self.y_label}]: {body}"
+
+    def render_bars(self, width: int = 40) -> str:
+        """ASCII bar-chart rendering for terminal reports."""
+        if width < 1:
+            raise ValueError("width must be positive")
+        if not self.points:
+            return f"{self.name}: (no data)"
+        peak = max(abs(y) for _, y in self.points) or 1.0
+        label_width = max(len(_fmt(x)) for x, _ in self.points)
+        lines = [f"{self.name} ({self.y_label})"]
+        for x, y in self.points:
+            bar = "#" * max(0, round(abs(y) / peak * width))
+            lines.append(
+                f"  {_fmt(x).rjust(label_width)} |{bar} {_fmt(y)}"
+            )
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class Report:
+    """All output of one experiment."""
+
+    experiment_id: str
+    title: str
+    tables: List[Table] = dataclasses.field(default_factory=list)
+    series: List[Series] = dataclasses.field(default_factory=list)
+    parameters: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def add_table(self, table: Table) -> Table:
+        self.tables.append(table)
+        return table
+
+    def add_series(self, series: Series) -> Series:
+        self.series.append(series)
+        return series
+
+    def get_table(self, title: str) -> Optional[Table]:
+        for table in self.tables:
+            if table.title == title:
+                return table
+        return None
+
+    def get_series(self, name: str) -> Optional[Series]:
+        for series in self.series:
+            if series.name == name:
+                return series
+        return None
+
+    def to_text(self) -> str:
+        lines = [f"### {self.experiment_id}: {self.title}"]
+        if self.parameters:
+            params = ", ".join(
+                f"{k}={_fmt(v)}" for k, v in sorted(self.parameters.items())
+            )
+            lines.append(f"parameters: {params}")
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.render())
+        if self.series:
+            lines.append("")
+            lines.append("-- series --")
+            for series in self.series:
+                lines.append(series.render())
+        return "\n".join(lines)

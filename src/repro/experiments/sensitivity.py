@@ -1,0 +1,116 @@
+"""§V-C sensitivity studies whose plots the paper omits for space:
+stripe-unit size and disk size (at a fixed 50% free-space ratio)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+from repro.core import ArrayConfig
+from repro.disk.models import ULTRASTAR_36Z15
+from repro.experiments.registry import register
+from repro.experiments.report import Report, Table
+from repro.experiments.runner import (
+    run_scheme_set,
+    workload_scale,
+)
+
+KB = 1024
+GB = 1024**3
+
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+
+
+@register(
+    "sens-stripe",
+    "Sensitivity to the stripe unit size (16/32/64 KB)",
+    "§V-C 'Stripe Unit Size'",
+)
+def run_stripe(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    stripe_units_kb: Iterable[int] = (16, 32, 64),
+    workloads: Iterable[str] = ("src2_2", "proj_0"),
+    seed: int = 42,
+) -> Report:
+    report = Report("sens-stripe", "Stripe-unit sensitivity")
+    table = report.add_table(
+        Table(
+            "energy saved over RAID10 by stripe unit",
+            ["workload", "stripe_kb", "graid", "rolo-p", "rolo-r", "rolo-e"],
+            note="paper finding: only RoLo-E under src2_2 is sensitive",
+        )
+    )
+    for workload in workloads:
+        for stripe_kb in stripe_units_kb:
+            results = run_scheme_set(
+                workload,
+                SCHEMES,
+                scale=scale,
+                n_pairs=n_pairs,
+                seed=seed,
+                stripe_unit=stripe_kb * KB,
+            )
+            base = results["raid10"].total_energy_j
+            table.add_row(
+                workload,
+                stripe_kb,
+                *(
+                    1 - results[s].total_energy_j / base
+                    for s in SCHEMES[1:]
+                ),
+            )
+    return report
+
+
+@register(
+    "sens-disksize",
+    "Sensitivity to disk size at a fixed 50% free-space ratio",
+    "§V-C 'Disk Sizes'",
+)
+def run_disksize(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    rolo_free_gb: Iterable[float] = (8, 4, 2),
+    workloads: Iterable[str] = ("src2_2",),
+    seed: int = 42,
+) -> Report:
+    """GRAID log capacities 16/8/4 GB paired with RoLo free space 8/4/2 GB.
+
+    The paper's finding: the energy-saving effectiveness of RoLo over GRAID
+    does not vary with disk size at a fixed free-space ratio.
+    """
+    report = Report("sens-disksize", "Disk-size sensitivity")
+    table = report.add_table(
+        Table(
+            "energy saved over GRAID by (scaled) disk size",
+            ["workload", "rolo_free_gb", "rolo-p", "rolo-r", "rolo-e"],
+        )
+    )
+    for workload in workloads:
+        effective = workload_scale(workload, scale)
+        for free_gb in rolo_free_gb:
+            config = dataclasses.replace(
+                ArrayConfig(n_pairs=n_pairs),
+                disk=ULTRASTAR_36Z15,
+                free_space_bytes=int(free_gb * GB),
+                graid_log_capacity_bytes=int(2 * free_gb * GB),
+            ).scaled(effective)
+            results = run_scheme_set(
+                workload,
+                SCHEMES[1:],
+                scale=scale,
+                n_pairs=n_pairs,
+                seed=seed,
+                config=config,
+            )
+            base = results["graid"].total_energy_j
+            table.add_row(
+                workload,
+                free_gb,
+                *(
+                    1 - results[s].total_energy_j / base
+                    for s in ("rolo-p", "rolo-r", "rolo-e")
+                ),
+            )
+    return report

@@ -1,0 +1,273 @@
+"""Static SVG rendering of experiment series (figure regeneration).
+
+Produces self-contained .svg files from a report's
+:class:`~repro.experiments.report.Series` collection — one chart per
+(x-label, y-label) axis pair, so e.g. Fig. 9's four MTTDL curves share one
+plot.  Pure standard library.
+
+Design follows the validated reference data-viz palette: categorical hues
+in fixed order (never cycled), one y-axis, thin 2 px lines with 8 px point
+markers, recessive grid, text in ink colors (identity is carried by the
+legend swatch and direct end labels, never by coloring the text itself).
+A legend is always present for two or more series; up to four series are
+also direct-labeled at their line ends.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.experiments.report import Report, Series
+
+#: Validated categorical palette (light mode), fixed assignment order.
+PALETTE = [
+    "#2a78d6",  # blue
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+    "#e87ba4",  # magenta
+    "#eb6834",  # orange
+]
+SURFACE = "#fcfcfb"
+INK_PRIMARY = "#0b0b0b"
+INK_SECONDARY = "#52514e"
+GRID = "#e4e3df"
+
+WIDTH, HEIGHT = 720, 440
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 72, 160, 48, 56
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(1, n - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    text = f"{value:.3f}".rstrip("0").rstrip(".")
+    return text
+
+
+class _Axes:
+    """Maps data coordinates to SVG pixel coordinates."""
+
+    def __init__(self, series_list: Sequence[Series]) -> None:
+        xs = [x for s in series_list for x, _ in s.points]
+        self.numeric_x = all(_is_number(x) for x in xs)
+        if self.numeric_x:
+            self.x_values: List[float] = sorted({float(x) for x in xs})
+            self.x_lo = min(self.x_values)
+            self.x_hi = max(self.x_values)
+            if self.x_hi == self.x_lo:
+                self.x_hi = self.x_lo + 1
+        else:
+            seen: List[str] = []
+            for x in xs:
+                if str(x) not in seen:
+                    seen.append(str(x))
+            self.categories = seen
+        ys = [y for s in series_list for _, y in s.points]
+        lo, hi = min(ys + [0.0]), max(ys)
+        if hi == lo:
+            hi = lo + 1
+        self.y_ticks = _ticks(lo, hi)
+        self.y_lo = self.y_ticks[0]
+        self.y_hi = self.y_ticks[-1]
+
+    def x_pos(self, x) -> float:
+        span = WIDTH - MARGIN_L - MARGIN_R
+        if self.numeric_x:
+            frac = (float(x) - self.x_lo) / (self.x_hi - self.x_lo)
+        else:
+            index = self.categories.index(str(x))
+            frac = (index + 0.5) / len(self.categories)
+        return MARGIN_L + frac * span
+
+    def y_pos(self, y: float) -> float:
+        span = HEIGHT - MARGIN_T - MARGIN_B
+        frac = (y - self.y_lo) / (self.y_hi - self.y_lo)
+        return HEIGHT - MARGIN_B - frac * span
+
+    def x_tick_values(self):
+        if self.numeric_x:
+            return _ticks(self.x_lo, self.x_hi)
+        return self.categories
+
+
+def render_chart_svg(
+    series_list: Sequence[Series], title: str
+) -> str:
+    """Render one multi-series line chart as an SVG document string."""
+    series_list = [s for s in series_list if s.points]
+    if not series_list:
+        raise ValueError("nothing to plot")
+    if len(series_list) > len(PALETTE):
+        raise ValueError(
+            f"{len(series_list)} series exceed the fixed palette; fold "
+            "extras or split into multiple charts"
+        )
+    axes = _Axes(series_list)
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="system-ui, sans-serif">'
+    )
+    parts.append(
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>'
+    )
+    parts.append(
+        f'<text x="{MARGIN_L}" y="26" font-size="16" font-weight="600" '
+        f'fill="{INK_PRIMARY}">{html.escape(title)}</text>'
+    )
+    # Grid + y axis labels.
+    for tick in axes.y_ticks:
+        y = axes.y_pos(tick)
+        parts.append(
+            f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{WIDTH - MARGIN_R}" y2="{y:.1f}" stroke="{GRID}" '
+            f'stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_L - 8}" y="{y + 4:.1f}" font-size="11" '
+            f'text-anchor="end" fill="{INK_SECONDARY}">'
+            f"{_fmt_tick(tick)}</text>"
+        )
+    # X ticks.
+    for tick in axes.x_tick_values():
+        if axes.numeric_x and not (
+            axes.x_lo <= float(tick) <= axes.x_hi
+        ):
+            continue
+        x = axes.x_pos(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{HEIGHT - MARGIN_B}" x2="{x:.1f}" '
+            f'y2="{HEIGHT - MARGIN_B + 4}" stroke="{INK_SECONDARY}"/>'
+        )
+        label = _fmt_tick(tick) if axes.numeric_x else html.escape(str(tick))
+        parts.append(
+            f'<text x="{x:.1f}" y="{HEIGHT - MARGIN_B + 18}" '
+            f'font-size="11" text-anchor="middle" '
+            f'fill="{INK_SECONDARY}">{label}</text>'
+        )
+    # Axis lines (recessive) + labels.
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" '
+        f'y2="{HEIGHT - MARGIN_B}" stroke="{INK_SECONDARY}" '
+        f'stroke-width="1"/>'
+    )
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{HEIGHT - MARGIN_B}" '
+        f'x2="{WIDTH - MARGIN_R}" y2="{HEIGHT - MARGIN_B}" '
+        f'stroke="{INK_SECONDARY}" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{(MARGIN_L + WIDTH - MARGIN_R) / 2:.0f}" '
+        f'y="{HEIGHT - 12}" font-size="12" text-anchor="middle" '
+        f'fill="{INK_SECONDARY}">'
+        f"{html.escape(series_list[0].x_label)}</text>"
+    )
+    parts.append(
+        f'<text x="16" y="{(MARGIN_T + HEIGHT - MARGIN_B) / 2:.0f}" '
+        f'font-size="12" text-anchor="middle" fill="{INK_SECONDARY}" '
+        f'transform="rotate(-90 16 '
+        f'{(MARGIN_T + HEIGHT - MARGIN_B) / 2:.0f})">'
+        f"{html.escape(series_list[0].y_label)}</text>"
+    )
+    # Series: 2px lines, 8px-diameter markers, fixed palette order.
+    for index, series in enumerate(series_list):
+        color = PALETTE[index]
+        pts = [
+            (axes.x_pos(x), axes.y_pos(y)) for x, y in series.points
+        ]
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                f'fill="{color}" stroke="{SURFACE}" stroke-width="2"/>'
+            )
+        if len(series_list) <= 4:
+            end_x, end_y = pts[-1]
+            parts.append(
+                f'<text x="{end_x + 8:.1f}" y="{end_y + 4:.1f}" '
+                f'font-size="11" fill="{INK_PRIMARY}">'
+                f"{html.escape(series.name)}</text>"
+            )
+    # Legend (always present for >= 2 series).
+    if len(series_list) >= 2:
+        legend_x = WIDTH - MARGIN_R + 12
+        for index, series in enumerate(series_list):
+            y = MARGIN_T + 8 + index * 20
+            parts.append(
+                f'<rect x="{legend_x}" y="{y - 8}" width="12" '
+                f'height="12" rx="2" fill="{PALETTE[index]}"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 18}" y="{y + 2}" font-size="11" '
+                f'fill="{INK_PRIMARY}">{html.escape(series.name)}</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def report_to_svgs(
+    report: Report, directory: Union[str, Path]
+) -> List[Path]:
+    """Write one SVG per axis group of the report's series.
+
+    Series sharing (x_label, y_label) are drawn on the same chart, so a
+    paper figure's families of curves stay together.  Returns the paths
+    written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    groups: Dict[Tuple[str, str], List[Series]] = {}
+    for series in report.series:
+        if series.points:
+            groups.setdefault(
+                (series.x_label, series.y_label), []
+            ).append(series)
+    written: List[Path] = []
+    for index, ((x_label, y_label), members) in enumerate(
+        sorted(groups.items())
+    ):
+        charts = [members[i : i + len(PALETTE)]
+                  for i in range(0, len(members), len(PALETTE))]
+        for chart_no, chunk in enumerate(charts):
+            suffix = f"-{chart_no}" if len(charts) > 1 else ""
+            name = f"{report.experiment_id}-{index}{suffix}.svg"
+            path = directory / name
+            title = f"{report.title} ({y_label})"
+            path.write_text(render_chart_svg(chunk, title))
+            written.append(path)
+    return written

@@ -1,0 +1,149 @@
+"""Tables I, IV and V — projections of the main comparison runs.
+
+These reuse the memoized Fig. 10 runs, so running them after ``fig10`` is
+free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.experiments.registry import register
+from repro.experiments.report import Report, Table
+from repro.experiments.runner import (
+    run_scheme_set,
+    simulate_workload,
+    workload_scale,
+)
+from repro.traces import build_workload_trace
+from repro.traces.analysis import burstiness_index, classify_burstiness
+
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+WORKLOADS = ("src2_2", "proj_0")
+
+
+@register(
+    "table1",
+    "Number of disk spin up/down transitions per scheme",
+    "Table I",
+)
+def run_table1(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+) -> Report:
+    report = Report("table1", "Disk spin up/down counts")
+    report.parameters = {"n_pairs": n_pairs}
+    table = report.add_table(
+        Table(
+            "Table I: spin up+down transitions",
+            ["workload"] + list(SCHEMES),
+            note=(
+                "paper counts full start/stop cycles; this counts every "
+                "up and down transition (2x a cycle)"
+            ),
+        )
+    )
+    for workload in workloads:
+        results = run_scheme_set(
+            workload, SCHEMES, scale=scale, n_pairs=n_pairs, seed=seed
+        )
+        table.add_row(
+            workload, *(results[s].spin_cycle_count for s in SCHEMES)
+        )
+    return report
+
+
+@register(
+    "table4",
+    "Energy/performance/reliability comparison of all schemes",
+    "Table IV",
+)
+def run_table4(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    seed: int = 42,
+) -> Report:
+    report = Report("table4", "Scheme comparison summary")
+    report.parameters = {"n_pairs": n_pairs}
+    table = report.add_table(
+        Table(
+            "Table IV: RoLo vs baselines",
+            [
+                "scheme",
+                "workload",
+                "energy_saved_vs_raid10",
+                "energy_saved_vs_graid",
+                "perf_gained_vs_raid10",
+                "perf_gained_vs_graid",
+            ],
+            note="perf gained = 1 - rt/rt_baseline (negative = slower)",
+        )
+    )
+    for workload in WORKLOADS:
+        results = run_scheme_set(
+            workload, SCHEMES, scale=scale, n_pairs=n_pairs, seed=seed
+        )
+        raid10 = results["raid10"]
+        graid = results["graid"]
+        for scheme in ("rolo-p", "rolo-r", "rolo-e"):
+            m = results[scheme]
+            table.add_row(
+                scheme,
+                workload,
+                1 - m.total_energy_j / raid10.total_energy_j,
+                1 - m.total_energy_j / graid.total_energy_j,
+                1 - m.response_time.mean / raid10.response_time.mean,
+                1 - m.response_time.mean / graid.response_time.mean,
+            )
+    return report
+
+
+@register(
+    "table5",
+    "RoLo-E read characteristics under src2_2 and proj_0",
+    "Table V",
+)
+def run_table5(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    seed: int = 42,
+) -> Report:
+    report = Report("table5", "RoLo-E polarization analysis")
+    report.parameters = {"n_pairs": n_pairs}
+    table = report.add_table(
+        Table(
+            "Table V: RoLo-E under the two main traces",
+            [
+                "workload",
+                "read_ratio",
+                "read_hit_rate",
+                "burstiness",
+                "dispersion_index",
+                "perf_gained_vs_raid10",
+            ],
+            note="burstiness classified from the measured index of "
+            "dispersion of 1s arrival counts",
+        )
+    )
+    for workload in WORKLOADS:
+        rolo_e = simulate_workload(
+            "rolo-e", workload, scale=scale, n_pairs=n_pairs, seed=seed
+        )
+        raid10 = simulate_workload(
+            "raid10", workload, scale=scale, n_pairs=n_pairs, seed=seed
+        )
+        trace = build_workload_trace(
+            workload, scale=workload_scale(workload, scale), seed=seed
+        )
+        index = burstiness_index(trace)
+        table.add_row(
+            workload,
+            rolo_e.reads / rolo_e.requests if rolo_e.requests else 0.0,
+            rolo_e.read_hit_rate,
+            classify_burstiness(index),
+            index,
+            1 - rolo_e.response_time.mean / raid10.response_time.mean,
+        )
+    return report

@@ -1,0 +1,6 @@
+"""RAID substrate: striping/mirroring address math and logical requests."""
+
+from repro.raid.layout import Raid10Layout, StripeSegment
+from repro.raid.request import IORequest, RequestKind
+
+__all__ = ["Raid10Layout", "StripeSegment", "IORequest", "RequestKind"]

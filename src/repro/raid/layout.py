@@ -1,0 +1,134 @@
+"""RAID10 address mapping.
+
+The array stripes its logical address space across ``n_pairs`` mirrored
+pairs with a fixed stripe unit.  Every logical extent maps to a list of
+:class:`StripeSegment` — (pair index, byte offset within the pair's data
+region, length) — and each segment is written identically to both disks of
+the pair (mirroring happens in the controller, not here).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterator, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class StripeSegment:
+    """A contiguous piece of a logical request on one mirrored pair."""
+
+    pair: int
+    disk_offset: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.pair < 0 or self.disk_offset < 0 or self.nbytes <= 0:
+            raise ValueError(f"invalid segment {self!r}")
+
+    @property
+    def end_offset(self) -> int:
+        return self.disk_offset + self.nbytes
+
+
+class Raid10Layout:
+    """Striping math for a RAID10 array.
+
+    ``data_capacity`` is the per-disk data-region size in bytes; the array's
+    logical capacity is ``n_pairs * data_capacity``.
+    """
+
+    def __init__(
+        self,
+        n_pairs: int,
+        stripe_unit: int,
+        data_capacity: int,
+        spread: bool = False,
+    ) -> None:
+        if n_pairs <= 0:
+            raise ValueError("need at least one mirrored pair")
+        if stripe_unit <= 0:
+            raise ValueError("stripe unit must be positive")
+        if data_capacity <= 0 or data_capacity % stripe_unit:
+            raise ValueError(
+                "per-disk data capacity must be a positive multiple of the "
+                "stripe unit"
+            )
+        self.n_pairs = n_pairs
+        self.stripe_unit = stripe_unit
+        self.data_capacity = data_capacity
+        self.spread = spread
+        self._rows = data_capacity // stripe_unit
+        # Row permutation: physical_row = row * multiplier mod rows.  A
+        # multiplier near rows/phi coprime with rows scatters any compact
+        # logical footprint across the whole data region, so in-place I/O
+        # pays realistic seek distances even on scaled-down traces.
+        multiplier = max(1, int(self._rows / 1.618))
+        while math.gcd(multiplier, self._rows) != 1:
+            multiplier += 1
+        self._multiplier = multiplier
+        self._inverse = pow(multiplier, -1, self._rows) if spread else 1
+
+    @property
+    def logical_capacity(self) -> int:
+        return self.n_pairs * self.data_capacity
+
+    def map_extent(self, offset: int, nbytes: int) -> List[StripeSegment]:
+        """Split logical extent ``[offset, offset+nbytes)`` into segments.
+
+        Segments are returned in logical-address order.  Extents must lie
+        inside the logical address space.
+        """
+        if offset < 0 or nbytes <= 0:
+            raise ValueError("extent must be positive and non-negative offset")
+        if offset + nbytes > self.logical_capacity:
+            raise ValueError(
+                f"extent [{offset}, {offset + nbytes}) exceeds logical "
+                f"capacity {self.logical_capacity}"
+            )
+        segments: List[StripeSegment] = []
+        unit = self.stripe_unit
+        cursor = offset
+        remaining = nbytes
+        while remaining > 0:
+            stripe_number = cursor // unit
+            within = cursor - stripe_number * unit
+            take = min(unit - within, remaining)
+            pair = stripe_number % self.n_pairs
+            row = self._physical_row(stripe_number // self.n_pairs)
+            segments.append(
+                StripeSegment(pair, row * unit + within, take)
+            )
+            cursor += take
+            remaining -= take
+        return segments
+
+    def _physical_row(self, row: int) -> int:
+        if not self.spread:
+            return row
+        return (row * self._multiplier) % self._rows
+
+    def to_logical(self, pair: int, disk_offset: int) -> int:
+        """Inverse mapping for a physical disk offset."""
+        if not 0 <= pair < self.n_pairs:
+            raise ValueError(f"pair {pair} out of range")
+        if not 0 <= disk_offset < self.data_capacity:
+            raise ValueError(f"disk offset {disk_offset} out of range")
+        unit = self.stripe_unit
+        physical_row, within = divmod(disk_offset, unit)
+        if self.spread:
+            row = (physical_row * self._inverse) % self._rows
+        else:
+            row = physical_row
+        stripe_number = row * self.n_pairs + pair
+        return stripe_number * unit + within
+
+    def units(self, offset: int, nbytes: int) -> Iterator[Tuple[int, int]]:
+        """Yield (pair, unit-aligned disk offset) for every stripe unit the
+        extent touches.  This is the granularity of dirty-block tracking."""
+        for seg in self.map_extent(offset, nbytes):
+            unit = self.stripe_unit
+            first = (seg.disk_offset // unit) * unit
+            last = ((seg.end_offset - 1) // unit) * unit
+            for base in range(first, last + 1, unit):
+                yield seg.pair, base

@@ -1,0 +1,174 @@
+"""RAID5 address mapping (left-symmetric rotating parity).
+
+Substrate for the paper's stated future work (§VII): "a study on the
+feasibility and efficiency of RoLo deployed in parity-based storage
+systems".  A stripe row holds ``n_disks - 1`` data units plus one parity
+unit; the parity column rotates right-to-left across rows so parity I/O is
+spread over all disks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Raid5Segment:
+    """A contiguous piece of a logical request on one disk."""
+
+    disk: int
+    disk_offset: int
+    nbytes: int
+    #: Stripe row this segment belongs to (parity bookkeeping needs it).
+    row: int
+
+    def __post_init__(self) -> None:
+        if min(self.disk, self.disk_offset, self.row) < 0 or self.nbytes <= 0:
+            raise ValueError(f"invalid segment {self!r}")
+
+
+class Raid5Layout:
+    """Striping + rotating parity math for a RAID5 array."""
+
+    def __init__(
+        self,
+        n_disks: int,
+        stripe_unit: int,
+        data_capacity: int,
+        spread: bool = False,
+    ) -> None:
+        if n_disks < 3:
+            raise ValueError("RAID5 needs at least three disks")
+        if stripe_unit <= 0:
+            raise ValueError("stripe unit must be positive")
+        if data_capacity <= 0 or data_capacity % stripe_unit:
+            raise ValueError(
+                "per-disk capacity must be a positive multiple of the unit"
+            )
+        self.n_disks = n_disks
+        self.stripe_unit = stripe_unit
+        self.data_capacity = data_capacity
+        self.spread = spread
+        self._rows = data_capacity // stripe_unit
+        multiplier = max(1, int(self._rows / 1.618))
+        while math.gcd(multiplier, self._rows) != 1:
+            multiplier += 1
+        self._multiplier = multiplier
+
+    @property
+    def data_disks_per_row(self) -> int:
+        return self.n_disks - 1
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def logical_capacity(self) -> int:
+        return self._rows * self.data_disks_per_row * self.stripe_unit
+
+    # ------------------------------------------------------------------
+    def parity_disk(self, row: int) -> int:
+        """Disk holding row ``row``'s parity (left-symmetric rotation)."""
+        if not 0 <= row < self._rows:
+            raise ValueError(f"row {row} out of range")
+        return (self.n_disks - 1 - row % self.n_disks) % self.n_disks
+
+    def _physical_row(self, row: int) -> int:
+        if not self.spread:
+            return row
+        return (row * self._multiplier) % self._rows
+
+    def parity_offset(self, row: int) -> Tuple[int, int]:
+        """(disk, byte offset) of row ``row``'s parity unit."""
+        return (
+            self.parity_disk(row),
+            self._physical_row(row) * self.stripe_unit,
+        )
+
+    def data_disk(self, row: int, column: int) -> int:
+        """Disk of data column ``column`` (0-based) in ``row``."""
+        if not 0 <= column < self.data_disks_per_row:
+            raise ValueError(f"column {column} out of range")
+        return (self.parity_disk(row) + 1 + column) % self.n_disks
+
+    # ------------------------------------------------------------------
+    def map_extent(self, offset: int, nbytes: int) -> List[Raid5Segment]:
+        """Split a logical extent into per-disk data segments."""
+        if offset < 0 or nbytes <= 0:
+            raise ValueError("invalid extent")
+        if offset + nbytes > self.logical_capacity:
+            raise ValueError(
+                f"extent [{offset}, {offset + nbytes}) exceeds logical "
+                f"capacity {self.logical_capacity}"
+            )
+        unit = self.stripe_unit
+        per_row = self.data_disks_per_row
+        segments: List[Raid5Segment] = []
+        cursor = offset
+        remaining = nbytes
+        while remaining > 0:
+            stripe_number = cursor // unit
+            within = cursor - stripe_number * unit
+            take = min(unit - within, remaining)
+            row = stripe_number // per_row
+            column = stripe_number % per_row
+            segments.append(
+                Raid5Segment(
+                    self.data_disk(row, column),
+                    self._physical_row(row) * unit + within,
+                    take,
+                    row,
+                )
+            )
+            cursor += take
+            remaining -= take
+        return segments
+
+    def to_logical(self, row: int, column: int, within: int = 0) -> int:
+        """Logical byte address of (row, data column, offset-within-unit)."""
+        if not 0 <= row < self._rows:
+            raise ValueError(f"row {row} out of range")
+        if not 0 <= column < self.data_disks_per_row:
+            raise ValueError(f"column {column} out of range")
+        if not 0 <= within < self.stripe_unit:
+            raise ValueError("within out of range")
+        stripe_number = row * self.data_disks_per_row + column
+        return stripe_number * self.stripe_unit + within
+
+    def rows_touched(self, offset: int, nbytes: int) -> Dict[int, int]:
+        """Map of stripe row -> number of data units the extent touches."""
+        touched: Dict[int, int] = {}
+        unit = self.stripe_unit
+        per_row = self.data_disks_per_row
+        first = offset // unit
+        last = (offset + nbytes - 1) // unit
+        for stripe_number in range(first, last + 1):
+            row = stripe_number // per_row
+            touched[row] = touched.get(row, 0) + 1
+        return touched
+
+    def is_full_stripe(self, offset: int, nbytes: int, row: int) -> bool:
+        """True when the extent covers all of ``row``'s data units."""
+        unit = self.stripe_unit
+        per_row = self.data_disks_per_row
+        row_start = row * per_row * unit
+        row_end = row_start + per_row * unit
+        return offset <= row_start and offset + nbytes >= row_end
+
+    def iter_row_extents(
+        self, offset: int, nbytes: int
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield (row, row-local offset, row-local nbytes) per touched row."""
+        unit = self.stripe_unit
+        row_bytes = self.data_disks_per_row * unit
+        cursor = offset
+        end = offset + nbytes
+        while cursor < end:
+            row = cursor // row_bytes
+            row_start = row * row_bytes
+            take = min(end, row_start + row_bytes) - cursor
+            yield row, cursor - row_start, take
+            cursor += take

@@ -1,0 +1,103 @@
+"""Logical (array-level) I/O requests.
+
+An :class:`IORequest` is what the trace replayer hands the controller.  The
+controller fans it out into disk operations; :meth:`add_waits` /
+:meth:`op_done` implement the fan-in that fires the completion callback once
+every constituent disk operation has finished.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+
+class RequestKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class IORequest:
+    """One array-level request with fan-in completion tracking."""
+
+    __slots__ = (
+        "kind",
+        "offset",
+        "nbytes",
+        "arrival_time",
+        "finish_time",
+        "on_complete",
+        "_outstanding",
+        "_sealed",
+    )
+
+    def __init__(
+        self,
+        kind: RequestKind,
+        offset: int,
+        nbytes: int,
+        arrival_time: float,
+        on_complete: Optional[Callable[["IORequest"], None]] = None,
+    ) -> None:
+        if offset < 0 or nbytes <= 0:
+            raise ValueError("invalid request extent")
+        self.kind = kind
+        self.offset = offset
+        self.nbytes = nbytes
+        self.arrival_time = arrival_time
+        self.finish_time: float = -1.0
+        self.on_complete = on_complete
+        self._outstanding = 0
+        self._sealed = False
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is RequestKind.WRITE
+
+    @property
+    def response_time(self) -> float:
+        """Seconds from arrival to last sub-operation completion."""
+        if self.finish_time < 0:
+            raise ValueError("request not yet complete")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def complete(self) -> bool:
+        return self.finish_time >= 0
+
+    def add_waits(self, count: int = 1) -> None:
+        """Register ``count`` more sub-operations to wait for."""
+        if self._sealed and self._outstanding == 0:
+            raise ValueError("request already completed")
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._outstanding += count
+
+    def seal(self, now: float) -> None:
+        """Declare that no more sub-operations will be added.
+
+        If nothing is outstanding the request completes immediately (e.g. a
+        read fully served from cache).
+        """
+        self._sealed = True
+        if self._outstanding == 0:
+            self._finish(now)
+
+    def op_done(self, now: float) -> None:
+        """Record one sub-operation completion."""
+        if self._outstanding <= 0:
+            raise ValueError("op_done without matching add_waits")
+        self._outstanding -= 1
+        if self._outstanding == 0 and self._sealed:
+            self._finish(now)
+
+    def _finish(self, now: float) -> None:
+        self.finish_time = now
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<IORequest {self.kind.value} off={self.offset} "
+            f"bytes={self.nbytes} t={self.arrival_time:.4f}>"
+        )

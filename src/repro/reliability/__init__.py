@@ -1,0 +1,28 @@
+"""Reliability analysis (paper §IV).
+
+* :mod:`repro.reliability.markov` — generic absorbing continuous-time
+  Markov chain solver (mean time to absorption).
+* :mod:`repro.reliability.mttdl` — the paper's closed-form MTTDL equations
+  (1)–(5), chain builders for the state diagrams of Figs. 6–8, and the
+  Fig. 9 sweep.
+* :mod:`repro.reliability.spin` — spin-cycle derating of the disk failure
+  rate (the paper's "combined measure" of MTTDL and disk-spin frequency).
+"""
+
+from repro.reliability.markov import AbsorbingCTMC
+from repro.reliability.mttdl import (
+    MTTDL_CLOSED_FORMS,
+    mttdl_closed_form,
+    mttdl_ctmc,
+    mttdl_sweep,
+)
+from repro.reliability.spin import SpinDerating
+
+__all__ = [
+    "AbsorbingCTMC",
+    "MTTDL_CLOSED_FORMS",
+    "mttdl_closed_form",
+    "mttdl_ctmc",
+    "mttdl_sweep",
+    "SpinDerating",
+]

@@ -1,0 +1,110 @@
+"""Absorbing continuous-time Markov chains.
+
+The mean time to absorption from a transient state solves the linear system
+``Q_T t = -1`` where ``Q_T`` is the generator restricted to transient
+states.  States are arbitrary hashable labels; absorbing states are those
+with no outgoing transitions or explicitly declared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set
+
+import numpy as np
+
+State = Hashable
+
+
+class AbsorbingCTMC:
+    """A CTMC with at least one absorbing state."""
+
+    def __init__(self) -> None:
+        self._transitions: Dict[State, Dict[State, float]] = {}
+        self._states: List[State] = []
+        self._absorbing: Set[State] = set()
+
+    def _ensure_state(self, state: State) -> None:
+        if state not in self._transitions:
+            self._transitions[state] = {}
+            self._states.append(state)
+
+    def add_state(self, state: State, absorbing: bool = False) -> None:
+        self._ensure_state(state)
+        if absorbing:
+            self._absorbing.add(state)
+
+    def add_transition(self, src: State, dst: State, rate: float) -> None:
+        """Add (or accumulate) a transition at the given rate (per hour)."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if src == dst:
+            raise ValueError("self-transitions are meaningless in a CTMC")
+        self._ensure_state(src)
+        self._ensure_state(dst)
+        self._transitions[src][dst] = self._transitions[src].get(dst, 0.0) + rate
+
+    @property
+    def states(self) -> List[State]:
+        return list(self._states)
+
+    def absorbing_states(self) -> Set[State]:
+        """Declared absorbing states plus any state with no exits."""
+        implicit = {
+            s for s, outs in self._transitions.items() if not outs
+        }
+        return self._absorbing | implicit
+
+    def exit_rate(self, state: State) -> float:
+        return sum(self._transitions[state].values())
+
+    def mean_time_to_absorption(self, start: State) -> float:
+        """Expected time from ``start`` until any absorbing state is hit."""
+        absorbing = self.absorbing_states()
+        if not absorbing:
+            raise ValueError("chain has no absorbing state")
+        if start in absorbing:
+            return 0.0
+        transient = [s for s in self._states if s not in absorbing]
+        if start not in self._transitions:
+            raise KeyError(f"unknown state {start!r}")
+        index = {s: i for i, s in enumerate(transient)}
+        n = len(transient)
+        q = np.zeros((n, n))
+        for s in transient:
+            i = index[s]
+            for dst, rate in self._transitions[s].items():
+                if dst in index:  # transient->transient only
+                    q[i, index[dst]] += rate
+            q[i, i] -= self.exit_rate(s)
+        # Transient states from which absorption is unreachable make Q_T
+        # singular; report that clearly instead of a LinAlgError.
+        try:
+            times = np.linalg.solve(q, -np.ones(n))
+        except np.linalg.LinAlgError as exc:
+            raise ValueError(
+                "absorption unreachable from some transient state"
+            ) from exc
+        return float(times[index[start]])
+
+    def absorption_probabilities(self, start: State) -> Dict[State, float]:
+        """Probability of ending in each absorbing state from ``start``."""
+        absorbing = sorted(self.absorbing_states(), key=repr)
+        transient = [s for s in self._states if s not in set(absorbing)]
+        index = {s: i for i, s in enumerate(transient)}
+        n = len(transient)
+        q = np.zeros((n, n))
+        r = np.zeros((n, len(absorbing)))
+        a_index = {s: j for j, s in enumerate(absorbing)}
+        for s in transient:
+            i = index[s]
+            for dst, rate in self._transitions[s].items():
+                if dst in a_index:
+                    r[i, a_index[dst]] += rate
+                else:
+                    q[i, index[dst]] += rate
+            q[i, i] -= self.exit_rate(s)
+        if start in a_index:
+            return {s: 1.0 if s == start else 0.0 for s in absorbing}
+        probs = np.linalg.solve(q, -r)
+        row = probs[index[start]]
+        return {s: float(row[a_index[s]]) for s in absorbing}

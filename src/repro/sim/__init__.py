@@ -1,0 +1,26 @@
+"""Discrete-event simulation engine.
+
+This package is the DiskSim-equivalent substrate: a deterministic
+event-driven scheduler (:class:`~repro.sim.engine.Simulator`), cancellable
+timers (:class:`~repro.sim.engine.Timer`), and statistics collectors
+(:mod:`repro.sim.stats`) used by every higher layer.
+"""
+
+from repro.sim.engine import Event, SimulationError, Simulator, Timer
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    StreamingStat,
+    TimeWeightedStat,
+)
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "Counter",
+    "Histogram",
+    "StreamingStat",
+    "TimeWeightedStat",
+]

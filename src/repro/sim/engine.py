@@ -1,0 +1,193 @@
+"""Deterministic discrete-event simulation core.
+
+The :class:`Simulator` owns a virtual clock and a binary-heap event queue.
+Events scheduled for the same instant fire in scheduling (FIFO) order, which
+makes runs reproducible regardless of callback content.  All times are
+floating-point seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.at` and can be cancelled before they fire.  Cancelled
+    events stay in the heap but are skipped when popped (lazy deletion),
+    which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {self.label or self.callback} {state}>"
+
+
+class Simulator:
+    """Event-driven simulator with a monotonic virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, my_callback, arg1, arg2)
+        sim.run()            # drains the event queue
+        sim.now              # final virtual time
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.at(self._now + delay, callback, *args, label=label)
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, clock already at {self._now!r}"
+            )
+        event = Event(time, next(self._seq), callback, args, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final virtual time.  When ``until`` is given the clock is
+        advanced to exactly ``until`` even if the last event fired earlier,
+        so time-weighted statistics close cleanly.
+        """
+        if self._running:
+            raise SimulationError("simulator is re-entrant only via step()")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Used for idle-detection: (re)arming replaces any pending expiry, so the
+    callback only fires when a full quiet interval elapses.
+    """
+
+    def __init__(
+        self, sim: Simulator, interval: float, callback: Callable[[], None]
+    ) -> None:
+        if interval < 0:
+            raise SimulationError(f"negative timer interval {interval!r}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def arm(self) -> None:
+        """Start (or restart) the countdown from the current instant."""
+        self.cancel()
+        self._event = self._sim.schedule(self.interval, self._fire, label="timer")
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

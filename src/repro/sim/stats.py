@@ -1,0 +1,198 @@
+"""Statistics collectors used across the simulator.
+
+All collectors are streaming (O(1) memory except :class:`Histogram`) because
+experiment runs can observe millions of samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+class StreamingStat:
+    """Streaming mean/variance/min/max via Welford's algorithm."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self._total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def merge(self, other: "StreamingStat") -> None:
+        """Fold another collector into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            self._total = other._total
+            return
+        total_count = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total_count
+        self._mean += delta * other.count / total_count
+        self.count = total_count
+        self._total += other._total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"StreamingStat(n={self.count}, mean={self.mean:.6g}, "
+            f"min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+class TimeWeightedStat:
+    """Integrates a piecewise-constant signal over virtual time.
+
+    Call :meth:`update` whenever the level changes; :meth:`close` at end of
+    run.  ``integral`` is ∫ level dt and ``mean`` the time-weighted average.
+    """
+
+    def __init__(self, start_time: float = 0.0, level: float = 0.0) -> None:
+        self._last_time = start_time
+        self._level = level
+        self.integral = 0.0
+        self._start = start_time
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def update(self, now: float, level: float) -> None:
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        self.integral += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+
+    def close(self, now: float) -> None:
+        """Integrate up to ``now`` without changing the level."""
+        self.update(now, self._level)
+
+    def mean(self, now: Optional[float] = None) -> float:
+        end = self._last_time if now is None else now
+        elapsed = end - self._start
+        if elapsed <= 0:
+            return 0.0
+        pending = self._level * (end - self._last_time)
+        return (self.integral + pending) / elapsed
+
+
+class Counter:
+    """Named integer counters with dict-like access."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Hashable, int] = {}
+
+    def incr(self, key: Hashable, amount: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + amount
+
+    def __getitem__(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[Hashable, int]:
+        return dict(self._counts)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+
+class Histogram:
+    """Fixed-bucket histogram with overflow bucket and quantile estimation."""
+
+    def __init__(self, bounds: List[float]) -> None:
+        if not bounds or any(
+            bounds[i] >= bounds[i + 1] for i in range(len(bounds) - 1)
+        ):
+            raise ValueError("bounds must be strictly increasing and non-empty")
+        self.bounds = list(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+
+    @classmethod
+    def exponential(
+        cls, start: float, factor: float, num: int
+    ) -> "Histogram":
+        """Histogram with geometrically spaced bucket bounds."""
+        bounds = [start * factor**i for i in range(num)]
+        return cls(bounds)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound containing quantile ``q`` (0 < q <= 1)."""
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= target:
+                return self.bounds[i] if i < len(self.bounds) else math.inf
+        return math.inf  # pragma: no cover
+
+    def nonzero_buckets(self) -> List[Tuple[float, int]]:
+        """(upper-bound, count) for every populated bucket."""
+        out: List[Tuple[float, int]] = []
+        for i, c in enumerate(self.counts):
+            if c:
+                bound = self.bounds[i] if i < len(self.bounds) else math.inf
+                out.append((bound, c))
+        return out

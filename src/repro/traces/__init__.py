@@ -1,0 +1,35 @@
+"""Trace substrate.
+
+The paper replays MSR Cambridge block traces.  Those files are not
+redistributable, so this package provides (a) a parser for the SNIA CSV
+format for users who have them (:mod:`repro.traces.msr`), (b) a synthetic
+generator whose knobs cover every characteristic the paper publishes about
+its traces (:mod:`repro.traces.synthetic`), and (c) calibrated presets for
+the seven traces the evaluation uses (:mod:`repro.traces.workloads`).
+"""
+
+from repro.traces.analysis import TraceStats, characterize
+from repro.traces.record import Trace, TraceRecord
+from repro.traces.synthetic import (
+    Burstiness,
+    SyntheticTraceConfig,
+    generate_trace,
+)
+from repro.traces.workloads import (
+    PAPER_WORKLOADS,
+    WorkloadPreset,
+    build_workload_trace,
+)
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "TraceStats",
+    "characterize",
+    "Burstiness",
+    "SyntheticTraceConfig",
+    "generate_trace",
+    "WorkloadPreset",
+    "PAPER_WORKLOADS",
+    "build_workload_trace",
+]

@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import pytest
+
+from repro.core import ArrayConfig
+from repro.raid.request import RequestKind
+from repro.sim import Simulator
+from repro.traces.record import Trace, TraceRecord
+
+KB = 1024
+MB = 1024 * KB
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def small_config(**overrides) -> ArrayConfig:
+    """A tiny array configuration for fast controller tests."""
+    defaults = dict(
+        n_pairs=2,
+        stripe_unit=64 * KB,
+        free_space_bytes=4 * MB,
+        graid_log_capacity_bytes=8 * MB,
+        idle_grace_s=0.01,
+        destage_batch_bytes=256 * KB,
+        standby_return_s=5.0,
+    )
+    defaults.update(overrides)
+    return ArrayConfig(**defaults)
+
+
+def make_trace(
+    spec: Iterable[Tuple[float, str, int, int]], name: str = "test"
+) -> Trace:
+    """Build a trace from (time, 'r'|'w', offset, nbytes) tuples."""
+    records: List[TraceRecord] = []
+    for timestamp, kind, offset, nbytes in spec:
+        records.append(
+            TraceRecord(
+                timestamp,
+                RequestKind.WRITE if kind == "w" else RequestKind.READ,
+                offset,
+                nbytes,
+            )
+        )
+    return Trace(records, name=name)
+
+
+def write_burst(
+    count: int,
+    nbytes: int = 64 * KB,
+    start: float = 0.0,
+    gap: float = 0.05,
+    stride: Optional[int] = None,
+    base: int = 0,
+) -> Trace:
+    """A simple all-write trace: ``count`` writes spaced ``gap`` apart."""
+    if stride is None:
+        stride = nbytes
+    spec = [
+        (start + i * gap, "w", base + (i * stride), nbytes)
+        for i in range(count)
+    ]
+    return make_trace(spec, name="write-burst")

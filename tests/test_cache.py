@@ -1,0 +1,97 @@
+"""Unit tests for the LRU cache."""
+
+import pytest
+
+from repro.cache import LRUCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self):
+        cache = LRUCache(4)
+        assert cache.get("missing") is None
+
+    def test_contains_does_not_count_stats(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_zero_capacity_never_stores(self):
+        cache = LRUCache(0)
+        assert cache.put("a", 1) is None
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        evicted = cache.put("c", 3)
+        assert evicted == ("a", 1)
+        assert "a" not in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        evicted = cache.put("c", 3)
+        assert evicted == ("b", 2)
+
+    def test_put_refreshes_existing_without_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.put("a", 10) is None
+        assert cache.get("a") == 10
+        assert len(cache) == 2
+
+    def test_discard(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.discard("a") is True
+        assert cache.discard("a") is False
+        assert "a" not in cache
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("x")
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self):
+        assert LRUCache(2).hit_rate == 0.0
+
+    def test_iteration_order_is_lru_to_mru(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert list(cache) == ["b", "a"]

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig9", "--scale", "0.02", "--pairs", "4"]
+        )
+        assert args.experiment == "fig9"
+        assert args.scale == 0.02
+        assert args.pairs == 4
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "src2_2" in out
+
+    def test_mttdl_output(self, capsys):
+        assert main(["mttdl", "--mttr-days", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "raid10" in out
+        assert "rolo-r" in out
+
+    def test_trace_info(self, capsys):
+        assert main(["trace-info", "rsrch_2", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "rsrch_2" in out
+        assert "records=" in out
+
+    def test_run_fig9(self, capsys, tmp_path):
+        out_file = tmp_path / "report.txt"
+        assert main(["run", "fig9", "--out", str(out_file)]) == 0
+        assert "MTTDL" in capsys.readouterr().out
+        assert "MTTDL" in out_file.read_text()
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "rolo-p",
+                    "rsrch_2",
+                    "--scale",
+                    "0.02",
+                    "--pairs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "requests=" in out
+        assert "rotations=" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])

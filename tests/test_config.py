@@ -1,0 +1,127 @@
+"""Unit tests for ArrayConfig."""
+
+import pytest
+
+from repro.core import ArrayConfig
+from repro.disk.models import ULTRASTAR_36Z15
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = ArrayConfig()
+        assert cfg.n_pairs == 20
+        assert cfg.stripe_unit == 64 * KB
+        assert cfg.free_space_bytes == 8 * GB
+        assert cfg.graid_log_capacity_bytes == 16 * GB
+        assert cfg.destage_threshold == 0.8
+        assert cfg.disk is ULTRASTAR_36Z15
+
+    def test_n_disks(self):
+        assert ArrayConfig(n_pairs=10).n_disks == 20
+
+    def test_data_capacity_aligned_and_excludes_log(self):
+        cfg = ArrayConfig()
+        assert cfg.data_capacity_bytes % cfg.stripe_unit == 0
+        assert (
+            cfg.data_capacity_bytes
+            <= cfg.disk.capacity_bytes - cfg.free_space_bytes
+        )
+
+    def test_log_region_offset(self):
+        cfg = ArrayConfig()
+        assert cfg.log_region_offset == cfg.data_capacity_bytes
+
+    def test_layout_dimensions(self):
+        cfg = ArrayConfig(n_pairs=4)
+        layout = cfg.layout()
+        assert layout.n_pairs == 4
+        assert layout.stripe_unit == cfg.stripe_unit
+        assert layout.data_capacity == cfg.data_capacity_bytes
+        assert layout.spread is True
+
+    def test_layout_spread_toggle(self):
+        cfg = ArrayConfig(spread_data=False)
+        assert cfg.layout().spread is False
+
+
+class TestValidation:
+    def test_min_pairs(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(n_pairs=1)
+
+    def test_stripe_unit_sector_multiple(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(stripe_unit=1000)
+
+    def test_free_space_must_fit(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(free_space_bytes=0)
+        with pytest.raises(ValueError):
+            ArrayConfig(
+                free_space_bytes=ULTRASTAR_36Z15.capacity_bytes + 1
+            )
+
+    def test_thresholds(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(destage_threshold=0.0)
+        with pytest.raises(ValueError):
+            ArrayConfig(rotate_threshold=1.1)
+        with pytest.raises(ValueError):
+            ArrayConfig(prewake_fraction=-0.1)
+
+    def test_n_on_duty_range(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(n_pairs=4, n_on_duty=0)
+        with pytest.raises(ValueError):
+            ArrayConfig(n_pairs=4, n_on_duty=4)
+        ArrayConfig(n_pairs=4, n_on_duty=3)
+
+    def test_destage_batch_holds_a_unit(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(stripe_unit=64 * KB, destage_batch_bytes=32 * KB)
+
+    def test_time_knobs_non_negative(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(idle_grace_s=-1)
+        with pytest.raises(ValueError):
+            ArrayConfig(standby_return_s=-1)
+
+    def test_cache_fraction_range(self):
+        with pytest.raises(ValueError):
+            ArrayConfig(read_cache_fraction=1.0)
+
+
+class TestScaled:
+    def test_scales_capacities(self):
+        cfg = ArrayConfig().scaled(0.1)
+        assert cfg.free_space_bytes == pytest.approx(0.8 * GB, rel=0.01)
+        assert cfg.graid_log_capacity_bytes == pytest.approx(
+            1.6 * GB, rel=0.01
+        )
+
+    def test_preserves_structure(self):
+        cfg = ArrayConfig(n_pairs=7).scaled(0.1)
+        assert cfg.n_pairs == 7
+        assert cfg.stripe_unit == 64 * KB
+        assert cfg.disk is ULTRASTAR_36Z15
+
+    def test_alignment(self):
+        cfg = ArrayConfig().scaled(0.001234)
+        assert cfg.free_space_bytes % cfg.stripe_unit == 0
+        assert cfg.graid_log_capacity_bytes % cfg.stripe_unit == 0
+
+    def test_floor_of_four_units(self):
+        cfg = ArrayConfig().scaled(1e-9)
+        assert cfg.free_space_bytes >= 4 * cfg.stripe_unit
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ArrayConfig().scaled(0)
+
+    def test_hashable(self):
+        assert hash(ArrayConfig()) == hash(ArrayConfig())
+        assert ArrayConfig() == ArrayConfig()

@@ -1,0 +1,135 @@
+"""Unit tests for RoLo-P (rotated logging, decentralized destaging)."""
+
+import pytest
+
+from tests.conftest import make_trace, small_config, write_burst
+from repro.core import RoloPController, run_trace
+from repro.core.base import run_trace as run_trace_base
+from repro.disk.power import PowerState
+from repro.sim import Simulator
+
+KB = 1024
+MB = 1024 * KB
+
+
+def build(sim, **overrides):
+    return RoloPController(sim, small_config(**overrides))
+
+
+class TestWritePath:
+    def test_two_copies_primary_plus_log(self, sim):
+        controller = build(sim)
+        run_trace(controller, write_burst(1))
+        assert controller.primaries[0].foreground_ops == 1
+        assert controller.mirrors[0].foreground_ops == 1  # on-duty logger
+
+    def test_off_duty_mirror_untouched_and_asleep(self, sim):
+        controller = build(sim)
+        metrics = run_trace_base(controller, write_burst(5), drain=False)
+        assert controller.mirrors[1].foreground_ops == 0
+        assert controller.mirrors[1].state is PowerState.STANDBY
+
+    def test_log_append_covers_whole_request(self, sim):
+        """A striped write is one sequential append on the logger."""
+        controller = build(sim)
+        run_trace(controller, make_trace([(0.0, "w", 0, 128 * KB)]))
+        # 128K spans both pairs in place, but the log side is ONE append.
+        assert controller.mirrors[0].foreground_ops == 1
+        assert controller.primaries[0].foreground_ops == 1
+        assert controller.primaries[1].foreground_ops == 1
+
+    def test_dirty_units_tracked_until_drain(self, sim):
+        controller = build(sim)
+        metrics = run_trace_base(controller, write_burst(4), drain=False)
+        assert controller.dirty_units_total() == 4
+        controller.drain()
+        sim.run()
+        assert controller.dirty_units_total() == 0
+
+    def test_log_occupancy_grows(self, sim):
+        controller = build(sim)
+        run_trace_base(controller, write_burst(4), drain=False)
+        assert controller.mirror_logs[0].used == 4 * 64 * KB
+
+    def test_reads_from_primaries(self, sim):
+        controller = build(sim)
+        run_trace(controller, make_trace([(0.0, "r", 0, 64 * KB)]))
+        assert controller.primaries[0].foreground_ops == 1
+        assert controller.mirrors[0].foreground_ops == 0
+
+
+class TestRotation:
+    def test_rotation_at_threshold(self, sim):
+        # 4MB log region, threshold 0.8 -> 3.2MB = 52 writes of 64K.
+        controller = build(sim)
+        run_trace(controller, write_burst(55, gap=0.05))
+        assert controller.metrics.rotations >= 1
+
+    def test_rotation_switches_on_duty_logger(self, sim):
+        controller = build(sim)
+        run_trace_base(controller, write_burst(55, gap=0.05), drain=False)
+        assert controller._on_duty == [1]
+
+    def test_destage_after_rotation_cleans_new_pair(self, sim):
+        controller = build(sim)
+        # Enough writes to rotate; then give the destage idle time.
+        run_trace(controller, write_burst(55, gap=0.05))
+        assert controller.dirty_units_total() == 0
+        for region in controller.mirror_logs:
+            region.check_invariants()
+
+    def test_stale_space_reclaimed_after_destage(self, sim):
+        controller = build(sim)
+        run_trace(controller, write_burst(55, gap=0.05))
+        # Post-drain everything is clean: no live log bytes anywhere.
+        assert all(
+            region.live_bytes(p) == 0
+            for region in controller.mirror_logs
+            for p in range(2)
+        )
+
+    def test_spin_counts_much_lower_than_mirror_count_times_cycles(
+        self, sim
+    ):
+        """RoLo's key reliability property: rotation wakes ONE disk."""
+        controller = build(sim)
+        run_trace_base(
+            controller, write_burst(55, gap=0.05), drain=False
+        )
+        # One rotation: at most prewake + old-logger sleep transitions.
+        assert controller.metrics.rotations >= 1
+        total_spins = sum(
+            d.power.spin_cycle_count for d in controller.all_disks()
+        )
+        assert total_spins <= 3 * controller.metrics.rotations + 2
+
+    def test_primaries_never_spin_down(self, sim):
+        controller = build(sim)
+        run_trace(controller, write_burst(60, gap=0.05))
+        for primary in controller.primaries:
+            assert primary.power.spin_down_count == 0
+
+
+class TestDeactivation:
+    def test_deactivates_when_all_loggers_full(self, sim):
+        # Tiny regions and writes too fast for reclamation to keep up.
+        controller = build(sim, free_space_bytes=1 * MB)
+        trace = write_burst(80, gap=0.001)
+        run_trace(controller, trace)
+        assert controller.metrics.deactivations >= 1
+        controller.assert_consistent()
+
+    def test_writes_complete_even_when_deactivated(self, sim):
+        controller = build(sim, free_space_bytes=1 * MB)
+        metrics = run_trace(controller, write_burst(80, gap=0.001))
+        assert metrics.requests == 80
+
+
+class TestEnergy:
+    def test_saves_energy_versus_raid10_floor(self, sim):
+        """Off-duty mirror sleeps: power below the 4-disk idle floor."""
+        controller = build(sim)
+        metrics = run_trace_base(
+            controller, write_burst(40, gap=1.0), drain=False
+        )
+        assert metrics.mean_power_w < 4 * 10.2

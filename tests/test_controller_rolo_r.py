@@ -1,0 +1,63 @@
+"""Unit tests for RoLo-R (three copies via an on-duty mirrored pair)."""
+
+import pytest
+
+from tests.conftest import make_trace, small_config, write_burst
+from repro.core import RoloRController, run_trace
+from repro.core.base import run_trace as run_trace_base
+from repro.sim import Simulator
+
+KB = 1024
+
+
+def build(sim, **overrides):
+    return RoloRController(sim, small_config(**overrides))
+
+
+class TestTripleCopy:
+    def test_write_lands_in_three_places(self, sim):
+        controller = build(sim)
+        run_trace(controller, make_trace([(0.0, "w", 64 * KB, 64 * KB)]))
+        # Target pair 1 in place + both disks of on-duty pair 0.
+        assert controller.primaries[1].foreground_ops == 1
+        assert controller.primaries[0].foreground_ops == 1  # log copy
+        assert controller.mirrors[0].foreground_ops == 1  # log copy
+
+    def test_write_to_duty_pair_itself(self, sim):
+        controller = build(sim)
+        run_trace(controller, make_trace([(0.0, "w", 0, 64 * KB)]))
+        # In-place on P0 plus log copies on P0 and M0: P0 gets two ops.
+        assert controller.primaries[0].foreground_ops == 2
+        assert controller.mirrors[0].foreground_ops == 1
+
+    def test_both_log_regions_charged(self, sim):
+        controller = build(sim)
+        run_trace_base(controller, write_burst(3), drain=False)
+        assert controller.mirror_logs[0].used == 3 * 64 * KB
+        assert controller.primary_logs[0].used == 3 * 64 * KB
+
+    def test_rotation_reclaims_both_regions(self, sim):
+        controller = build(sim)
+        run_trace(controller, write_burst(55, gap=0.05))
+        assert controller.dirty_units_total() == 0
+        for region in controller.mirror_logs + controller.primary_logs:
+            region.check_invariants()
+            assert all(region.live_bytes(p) == 0 for p in range(2))
+
+    def test_slower_than_two_copies_on_duty_primary(self, sim):
+        """The third copy queues on a disk that also serves user I/O."""
+        controller = build(sim)
+        metrics = run_trace(controller, write_burst(20, gap=0.001))
+        assert metrics.requests == 20
+        assert metrics.response_time.max > 0
+
+    def test_occupancy_uses_max_of_both_regions(self, sim):
+        controller = build(sim)
+        assert controller._logger_occupancy(0) == 0.0
+        controller.primary_logs[0].append(64 * KB, {0: 64 * KB}, 0)
+        assert controller._logger_occupancy(0) > 0.0
+
+    def test_consistency_after_drain(self, sim):
+        controller = build(sim)
+        run_trace(controller, write_burst(60, gap=0.02))
+        controller.assert_consistent()

@@ -1,0 +1,141 @@
+"""Tests for online degraded-mode operation and live rebuild (RAID10)."""
+
+import pytest
+
+from tests.conftest import make_trace, small_config, write_burst
+from repro.core import Raid10Controller, run_trace
+from repro.core.base import TraceDriver
+from repro.core.raid10 import DataLossError
+from repro.disk.disk import DiskFailedError, DiskOp, OpKind
+from repro.sim import Simulator
+
+KB = 1024
+
+
+def build(sim, **overrides):
+    return Raid10Controller(sim, small_config(**overrides))
+
+
+class TestFailureInjection:
+    def test_failed_disk_rejects_io(self, sim):
+        controller = build(sim)
+        controller.fail_disk(controller.mirrors[0])
+        with pytest.raises(DiskFailedError):
+            controller.mirrors[0].submit(DiskOp(OpKind.READ, 0, 4096))
+
+    def test_failed_disk_draws_no_power(self, sim):
+        controller = build(sim)
+        controller.fail_disk(controller.mirrors[0])
+        before = controller.mirrors[0].power.energy_joules
+        sim.run(until=100.0)
+        controller.mirrors[0].close()
+        assert controller.mirrors[0].power.energy_joules == before
+
+    def test_fail_requires_quiet_disk(self, sim):
+        controller = build(sim)
+        controller.mirrors[0].submit(DiskOp(OpKind.WRITE, 0, 64 * KB))
+        with pytest.raises(ValueError):
+            controller.fail_disk(controller.mirrors[0])
+
+    def test_failed_disk_refuses_spin_up(self, sim):
+        controller = build(sim)
+        controller.fail_disk(controller.mirrors[0])
+        assert controller.mirrors[0].request_spin_up() is False
+
+
+class TestDegradedIO:
+    def test_writes_survive_mirror_failure(self, sim):
+        controller = build(sim)
+        controller.fail_disk(controller.mirrors[0])
+        metrics = run_trace(controller, write_burst(5, stride=0))
+        assert metrics.requests == 5
+        assert controller.primaries[0].foreground_ops == 5
+
+    def test_reads_redirect_to_survivor(self, sim):
+        controller = build(sim)
+        controller.fail_disk(controller.primaries[0])
+        metrics = run_trace(
+            controller,
+            make_trace([(0.0, "r", 0, 64 * KB)] * 1),
+        )
+        assert metrics.requests == 1
+        assert controller.mirrors[0].foreground_ops == 1
+
+    def test_double_failure_is_data_loss(self, sim):
+        controller = build(sim)
+        controller.fail_disk(controller.primaries[0])
+        controller.fail_disk(controller.mirrors[0])
+        with pytest.raises(DataLossError):
+            controller._write_targets(0)
+        with pytest.raises(DataLossError):
+            controller._read_source(0)
+
+    def test_other_pairs_unaffected(self, sim):
+        controller = build(sim)
+        controller.fail_disk(controller.primaries[0])
+        run_trace(
+            controller, make_trace([(0.0, "w", 64 * KB, 64 * KB)])
+        )
+        assert controller.primaries[1].foreground_ops == 1
+        assert controller.mirrors[1].foreground_ops == 1
+
+
+class TestOnlineRebuild:
+    def test_rebuild_swaps_replacement_in(self, sim):
+        controller = build(sim)
+        victim = controller.mirrors[0]
+        controller.fail_disk(victim)
+        done = []
+        process = controller.begin_rebuild(
+            victim, on_complete=lambda: done.append(sim.now)
+        )
+        sim.run()
+        assert done
+        assert controller.mirrors[0] is process.replacement
+        assert not controller.mirrors[0].failed
+
+    def test_new_writes_mirrored_to_replacement_during_rebuild(self, sim):
+        controller = build(sim)
+        victim = controller.mirrors[0]
+        controller.fail_disk(victim)
+        process = controller.begin_rebuild(victim)
+        # A write arriving mid-rebuild must hit primary AND replacement.
+        driver = TraceDriver(sim, controller, write_burst(3, stride=0))
+        driver.start()
+        sim.run()
+        assert controller.primaries[0].foreground_ops == 3
+        assert process.replacement.foreground_ops == 3
+
+    def test_io_continues_through_rebuild(self, sim):
+        controller = build(sim)
+        victim = controller.primaries[1]
+        controller.fail_disk(victim)
+        controller.begin_rebuild(victim)
+        metrics = run_trace(controller, write_burst(20, gap=0.05))
+        assert metrics.requests == 20
+
+    def test_rebuild_requires_failed_disk(self, sim):
+        controller = build(sim)
+        with pytest.raises(ValueError):
+            controller.begin_rebuild(controller.mirrors[0])
+
+    def test_double_rebuild_rejected(self, sim):
+        controller = build(sim)
+        victim = controller.mirrors[0]
+        controller.fail_disk(victim)
+        controller.begin_rebuild(victim)
+        with pytest.raises(ValueError):
+            controller.begin_rebuild(victim)
+
+    def test_post_rebuild_pair_fully_functional(self, sim):
+        controller = build(sim)
+        victim = controller.mirrors[0]
+        controller.fail_disk(victim)
+        controller.begin_rebuild(victim)
+        sim.run()
+        # Arrivals must be in the simulator's future after the rebuild.
+        metrics = run_trace(
+            controller, write_burst(4, stride=0, start=sim.now + 1.0)
+        )
+        assert metrics.requests == 4
+        assert controller.mirrors[0].foreground_ops == 4

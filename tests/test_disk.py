@@ -1,0 +1,274 @@
+"""Unit tests for the event-driven disk server."""
+
+import pytest
+
+from repro.disk.disk import Disk, DiskOp, OpKind, Priority
+from repro.disk.models import ULTRASTAR_36Z15
+from repro.disk.power import PowerState
+from repro.sim import Simulator
+
+KB = 1024
+
+
+def make_disk(sim, standby=False):
+    state = PowerState.STANDBY if standby else PowerState.IDLE
+    return Disk(sim, ULTRASTAR_36Z15, "D0", initial_state=state)
+
+
+def op(sector=0, nbytes=64 * KB, kind=OpKind.WRITE, **kwargs):
+    return DiskOp(kind, sector, nbytes, **kwargs)
+
+
+class TestBasicService:
+    def test_single_op_completes(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.submit(op(on_complete=done.append))
+        sim.run()
+        assert len(done) == 1
+        assert done[0].finish_time > 0
+        assert disk.ops_completed == 1
+        assert disk.bytes_transferred == 64 * KB
+
+    def test_sequential_hint_costs_transfer_only(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.submit(
+            op(sector=10_000, sequential_hint=True, on_complete=done.append)
+        )
+        sim.run()
+        assert done[0].latency == pytest.approx(
+            ULTRASTAR_36Z15.transfer_time(64 * KB)
+        )
+
+    def test_back_to_back_sequential_detected(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.submit(op(sector=0, nbytes=64 * KB, on_complete=done.append))
+        disk.submit(op(sector=128, nbytes=64 * KB, on_complete=done.append))
+        sim.run()
+        # Second op starts where the head landed: transfer-only.
+        service2 = done[1].finish_time - done[1].start_time
+        assert service2 == pytest.approx(
+            ULTRASTAR_36Z15.transfer_time(64 * KB)
+        )
+
+    def test_ops_serialize(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.submit(op(on_complete=done.append))
+        disk.submit(op(sector=1_000_000, on_complete=done.append))
+        sim.run()
+        assert done[1].start_time >= done[0].finish_time
+
+    def test_fifo_within_priority(self, sim):
+        disk = make_disk(sim)
+        order = []
+        for i in range(5):
+            disk.submit(
+                op(sector=i * 1000, on_complete=lambda o, i=i: order.append(i))
+            )
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_active_while_busy_idle_after(self, sim):
+        disk = make_disk(sim)
+        states = []
+        disk.submit(op(on_complete=lambda o: states.append(disk.state)))
+        sim.run()
+        # During the completion callback the disk is still ACTIVE.
+        assert states == [PowerState.ACTIVE]
+        assert disk.state is PowerState.IDLE
+
+    def test_invalid_ops_rejected(self):
+        with pytest.raises(ValueError):
+            DiskOp(OpKind.WRITE, -1, 10)
+        with pytest.raises(ValueError):
+            DiskOp(OpKind.WRITE, 0, 0)
+
+
+class TestPriorities:
+    def test_foreground_overtakes_queued_background(self, sim):
+        disk = make_disk(sim)
+        order = []
+        # One op in service, then queue a background and a foreground op.
+        disk.submit(op(on_complete=lambda o: order.append("first")))
+        disk.submit(
+            op(
+                priority=Priority.BACKGROUND,
+                on_complete=lambda o: order.append("bg"),
+            )
+        )
+        disk.submit(op(on_complete=lambda o: order.append("fg")))
+        sim.run()
+        assert order == ["first", "fg", "bg"]
+
+    def test_pending_foreground_counts_in_service(self, sim):
+        disk = make_disk(sim)
+        seen = []
+        disk.submit(op(on_complete=lambda o: seen.append(disk.pending_foreground)))
+        assert disk.pending_foreground == 1
+        sim.run()
+        # During its own completion callback the op no longer counts.
+        assert seen == [0]
+
+    def test_background_does_not_count_as_pending_foreground(self, sim):
+        disk = make_disk(sim)
+        disk.submit(op(priority=Priority.BACKGROUND))
+        # Immediately enters service on an idle disk but still must not
+        # count as pending foreground work.
+        assert disk.pending_foreground == 0
+        assert disk.busy
+        sim.run()
+
+
+class TestPowerManagement:
+    def test_standby_disk_wakes_on_submit(self, sim):
+        disk = make_disk(sim, standby=True)
+        done = []
+        disk.submit(op(on_complete=done.append))
+        sim.run()
+        assert done[0].latency >= ULTRASTAR_36Z15.spin_up_time
+        assert disk.power.spin_up_count == 1
+
+    def test_spin_down_when_quiet(self, sim):
+        disk = make_disk(sim)
+        assert disk.request_spin_down() is True
+        sim.run()
+        assert disk.state is PowerState.STANDBY
+        assert disk.power.spin_down_count == 1
+
+    def test_spin_down_refused_while_busy(self, sim):
+        disk = make_disk(sim)
+        disk.submit(op())
+        assert disk.request_spin_down() is False
+        sim.run()
+
+    def test_spin_down_refused_when_already_down(self, sim):
+        disk = make_disk(sim, standby=True)
+        assert disk.request_spin_down() is False
+
+    def test_spin_up_idempotent(self, sim):
+        disk = make_disk(sim, standby=True)
+        disk.request_spin_up()
+        disk.request_spin_up()
+        sim.run()
+        assert disk.state is PowerState.IDLE
+        assert disk.power.spin_up_count == 1
+
+    def test_spin_up_while_spinning_down_waits_then_rises(self, sim):
+        disk = make_disk(sim)
+        disk.request_spin_down()
+        disk.request_spin_up()  # arrives mid spin-down
+        sim.run()
+        assert disk.state is PowerState.IDLE
+        assert disk.power.spin_down_count == 1
+        assert disk.power.spin_up_count == 1
+
+    def test_submit_while_spinning_down_wakes_after(self, sim):
+        disk = make_disk(sim)
+        disk.request_spin_down()
+        done = []
+        disk.submit(op(on_complete=done.append))
+        sim.run()
+        assert len(done) == 1
+        expected_min = (
+            ULTRASTAR_36Z15.spin_down_time + ULTRASTAR_36Z15.spin_up_time
+        )
+        assert done[0].latency >= expected_min
+
+    def test_energy_conservation(self, sim):
+        """Total energy equals sum of state power x duration."""
+        disk = make_disk(sim)
+        disk.submit(op())
+        sim.run()
+        disk.request_spin_down()
+        sim.run()
+        disk.close()
+        acct = disk.power
+        recomputed = sum(
+            acct.state_durations[s] * PowerStatePower(s)
+            for s in PowerState
+        )
+        assert acct.energy_joules == pytest.approx(recomputed)
+
+    def test_state_durations_sum_to_elapsed(self, sim):
+        disk = make_disk(sim)
+        disk.submit(op())
+        sim.run()
+        disk.close()
+        assert sum(disk.power.state_durations.values()) == pytest.approx(
+            sim.now
+        )
+
+
+def PowerStatePower(state):
+    spec = ULTRASTAR_36Z15
+    return {
+        PowerState.ACTIVE: spec.power_active,
+        PowerState.IDLE: spec.power_idle,
+        PowerState.STANDBY: spec.power_standby,
+        PowerState.SPINNING_UP: spec.spin_up_energy / spec.spin_up_time,
+        PowerState.SPINNING_DOWN: spec.spin_down_energy
+        / spec.spin_down_time,
+        PowerState.FAILED: 0.0,
+    }[state]
+
+
+class TestIdleListeners:
+    def test_listener_fires_when_quiet(self, sim):
+        disk = make_disk(sim)
+        idles = []
+        disk.add_idle_listener(lambda d: idles.append(sim.now))
+        disk.submit(op())
+        sim.run()
+        assert len(idles) == 1
+
+    def test_listener_not_fired_while_more_work_queued(self, sim):
+        disk = make_disk(sim)
+        idles = []
+        disk.add_idle_listener(lambda d: idles.append(sim.now))
+        disk.submit(op())
+        disk.submit(op(sector=1_000_000))
+        sim.run()
+        assert len(idles) == 1
+
+    def test_listener_removal(self, sim):
+        disk = make_disk(sim)
+        idles = []
+        cb = lambda d: idles.append(1)  # noqa: E731
+        disk.add_idle_listener(cb)
+        disk.remove_idle_listener(cb)
+        disk.remove_idle_listener(cb)  # idempotent
+        disk.submit(op())
+        sim.run()
+        assert idles == []
+
+    def test_listener_issuing_work_stops_notification_chain(self, sim):
+        disk = make_disk(sim)
+        calls = []
+
+        def refill(d):
+            calls.append("refill")
+            if len(calls) < 2:
+                d.submit(op(sector=2_000_000))
+
+        disk.add_idle_listener(refill)
+        disk.submit(op())
+        sim.run()
+        assert calls == ["refill", "refill"]
+
+    def test_is_quiet(self, sim):
+        disk = make_disk(sim)
+        assert disk.is_quiet
+        disk.submit(op())
+        assert not disk.is_quiet
+        sim.run()
+        assert disk.is_quiet
+        disk.request_spin_down()
+        sim.run()
+        assert not disk.is_quiet  # standby is not "quiet idle"
+
+    def test_initial_state_validation(self, sim):
+        with pytest.raises(ValueError):
+            Disk(sim, ULTRASTAR_36Z15, "bad", initial_state=PowerState.ACTIVE)

@@ -1,0 +1,121 @@
+"""Unit tests for drive parameter sheets."""
+
+import dataclasses
+
+import pytest
+
+from repro.disk.models import (
+    CHEETAH_15K5,
+    DISK_MODELS,
+    GB,
+    MB,
+    SECTOR_SIZE,
+    ULTRASTAR_36Z15,
+    DiskSpec,
+)
+
+
+class TestUltrastarSheet:
+    """Values straight from Table II of the paper."""
+
+    def test_capacity(self):
+        assert ULTRASTAR_36Z15.capacity_bytes == int(18.4 * GB)
+
+    def test_rotation_speed(self):
+        assert ULTRASTAR_36Z15.rpm == 15_000
+        assert ULTRASTAR_36Z15.rotation_time == pytest.approx(0.004)
+        assert ULTRASTAR_36Z15.avg_rotational_latency == pytest.approx(0.002)
+
+    def test_power_states(self):
+        assert ULTRASTAR_36Z15.power_active == 13.5
+        assert ULTRASTAR_36Z15.power_idle == 10.2
+        assert ULTRASTAR_36Z15.power_standby == 2.5
+
+    def test_spin_parameters(self):
+        assert ULTRASTAR_36Z15.spin_down_energy == 13.0
+        assert ULTRASTAR_36Z15.spin_up_energy == 135.0
+        assert ULTRASTAR_36Z15.spin_down_time == 1.5
+        assert ULTRASTAR_36Z15.spin_up_time == 10.9
+
+    def test_transfer_rate(self):
+        assert ULTRASTAR_36Z15.sustained_transfer_rate == 55 * MB
+
+
+def test_registry_contains_both_models():
+    assert DISK_MODELS["ultrastar36z15"] is ULTRASTAR_36Z15
+    assert DISK_MODELS["cheetah15k5"] is CHEETAH_15K5
+
+
+def test_transfer_time_linear():
+    t1 = ULTRASTAR_36Z15.transfer_time(1 * MB)
+    t2 = ULTRASTAR_36Z15.transfer_time(2 * MB)
+    assert t2 == pytest.approx(2 * t1)
+    assert t1 == pytest.approx(1 * MB / (55 * MB))
+
+
+def test_transfer_time_rejects_negative():
+    with pytest.raises(ValueError):
+        ULTRASTAR_36Z15.transfer_time(-1)
+
+
+def test_capacity_sectors():
+    assert (
+        ULTRASTAR_36Z15.capacity_sectors
+        == ULTRASTAR_36Z15.capacity_bytes // SECTOR_SIZE
+    )
+
+
+def test_scaled_changes_only_capacity():
+    half = ULTRASTAR_36Z15.scaled(ULTRASTAR_36Z15.capacity_bytes // 2)
+    assert half.capacity_bytes == ULTRASTAR_36Z15.capacity_bytes // 2
+    assert half.rpm == ULTRASTAR_36Z15.rpm
+    assert half.power_idle == ULTRASTAR_36Z15.power_idle
+    assert half.name != ULTRASTAR_36Z15.name
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        kwargs = dict(
+            name="x",
+            capacity_bytes=GB,
+            rpm=10_000,
+            avg_seek_time=4e-3,
+            track_to_track_seek_time=1e-3,
+            full_stroke_seek_time=9e-3,
+            sustained_transfer_rate=50 * MB,
+            power_active=10.0,
+            power_idle=8.0,
+            power_standby=1.0,
+            spin_down_energy=10.0,
+            spin_up_energy=100.0,
+            spin_down_time=1.0,
+            spin_up_time=10.0,
+        )
+        kwargs.update(overrides)
+        return DiskSpec(**kwargs)
+
+    def test_valid_spec_accepted(self):
+        self._base()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            self._base(capacity_bytes=0)
+
+    def test_zero_transfer_rate_rejected(self):
+        with pytest.raises(ValueError):
+            self._base(sustained_transfer_rate=0)
+
+    def test_seek_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            self._base(avg_seek_time=10e-3)  # avg > full stroke
+        with pytest.raises(ValueError):
+            self._base(track_to_track_seek_time=5e-3)  # track > avg
+
+    def test_zero_rpm_rejected(self):
+        with pytest.raises(ValueError):
+            self._base(rpm=0)
+
+    def test_frozen(self):
+        spec = self._base()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.rpm = 1

@@ -1,0 +1,110 @@
+"""Micro-scale smoke runs of the remaining experiment families."""
+
+import pytest
+
+from repro.experiments import clear_cache, get_experiment
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+class TestSweepExperiments:
+    def test_fig11_mini(self):
+        report = get_experiment("fig11").run(
+            scale=0.01, pair_counts=(2, 3), workloads=("rsrch_2",)
+        )
+        table = report.tables[0]
+        assert [row[1] for row in table.rows] == [4, 6]
+
+    def test_fig12_mini(self):
+        report = get_experiment("fig12").run(
+            scale=0.01, pair_counts=(2,), workloads=("rsrch_2",)
+        )
+        table = report.tables[0]
+        # Response times are positive for every scheme column.
+        assert all(v > 0 for v in table.rows[0][2:])
+
+    def test_fig13_mini(self):
+        report = get_experiment("fig13").run(
+            scale=0.01,
+            n_pairs=2,
+            free_space_gb=(8, 4),
+            workloads=("rsrch_2",),
+        )
+        table = report.tables[0]
+        assert [row[1] for row in table.rows] == [8, 4]
+        rotations = report.get_table(
+            "rotations per run (the paper's explanation)"
+        )
+        assert rotations is not None
+
+    def test_fig14_mini(self):
+        report = get_experiment("fig14").run(
+            scale=0.01, n_pairs=2, workloads=("rsrch_2",)
+        )
+        energy = report.tables[0]
+        assert energy.rows[0][1] == pytest.approx(1.0)  # raid10 norm
+
+    def test_sens_stripe_mini(self):
+        report = get_experiment("sens-stripe").run(
+            scale=0.01,
+            n_pairs=2,
+            stripe_units_kb=(64,),
+            workloads=("rsrch_2",),
+        )
+        assert len(report.tables[0].rows) == 1
+
+    def test_sens_disksize_mini(self):
+        report = get_experiment("sens-disksize").run(
+            scale=0.01,
+            n_pairs=2,
+            rolo_free_gb=(8,),
+            workloads=("rsrch_2",),
+        )
+        assert len(report.tables[0].rows) == 1
+
+
+class TestExtensionMinis:
+    def test_ext_recovery_mini(self):
+        report = get_experiment("ext-recovery").run(
+            scale=0.005, n_pairs=2, rebuild_mb=16
+        )
+        table = report.tables[0]
+        assert len(table.rows) == 10  # 5 schemes x 2 failure classes
+        # Rebuild times are positive everywhere.
+        assert all(row[3] > 0 for row in table.rows)
+
+    def test_ext_raid5_mini(self):
+        report = get_experiment("ext-raid5").run(
+            scale=0.005,
+            n_disks=4,
+            iops_levels=(20,),
+            request_kb=(8,),
+            duration_s=30.0,
+        )
+        table = report.tables[0]
+        assert len(table.rows) == 1
+        assert table.rows[0][4] > 0.9  # speedup sanity
+
+    def test_ext_idleslots_mini(self):
+        report = get_experiment("ext-idleslots").run(
+            scale=0.005, iops_levels=(50,), duration_s=60.0
+        )
+        table = report.tables[0]
+        assert table.rows  # both roles measured
+        assert all(0 <= row[3] <= 1 for row in table.rows)
+
+
+class TestCliSvg:
+    def test_run_with_svg_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["run", "fig9", "--svg-dir", str(tmp_path)]) == 0
+        )
+        svgs = list(tmp_path.glob("*.svg"))
+        assert svgs
+        assert "<svg" in svgs[0].read_text()

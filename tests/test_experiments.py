@@ -1,0 +1,187 @@
+"""Tests for the experiment harness (registry, report, quick runs)."""
+
+import pytest
+
+from repro.experiments import (
+    Report,
+    Series,
+    Table,
+    clear_cache,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.runner import (
+    DEFAULT_SCALES,
+    run_scheme_set,
+    simulate_workload,
+    workload_scale,
+)
+
+EXPECTED_IDS = {
+    "fig2",
+    "fig3",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table1",
+    "table4",
+    "table5",
+    "sens-stripe",
+    "sens-disksize",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = {e.experiment_id for e in list_experiments()}
+        assert EXPECTED_IDS <= ids
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_experiments_carry_paper_refs(self):
+        for exp in list_experiments():
+            assert exp.paper_ref
+            assert exp.title
+
+
+class TestReportRendering:
+    def test_table_rendering_aligned(self):
+        table = Table("t", ["a", "long_header"])
+        table.add_row(1, 2.5)
+        table.add_row(10, 0.333333)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== t =="
+        assert "long_header" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_table_column(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_series_render(self):
+        series = Series("s", "x", "y")
+        series.add(1, 0.5)
+        assert "(1, 0.5)" in series.render()
+        assert series.ys() == [0.5]
+
+    def test_report_to_text(self):
+        report = Report("id", "Title")
+        report.parameters["scale"] = 0.1
+        report.add_table(Table("t", ["a"])).add_row(1)
+        report.add_series(Series("s", "x", "y"))
+        text = report.to_text()
+        assert "### id: Title" in text
+        assert "scale=0.1" in text
+        assert "== t ==" in text
+
+    def test_report_lookup(self):
+        report = Report("id", "t")
+        table = report.add_table(Table("x", ["a"]))
+        assert report.get_table("x") is table
+        assert report.get_table("nope") is None
+        series = report.add_series(Series("s", "x", "y"))
+        assert report.get_series("s") is series
+        assert report.get_series("nope") is None
+
+
+class TestRunner:
+    def test_workload_scale_defaults(self):
+        assert workload_scale("src2_2", None) == DEFAULT_SCALES["src2_2"]
+        assert workload_scale("src2_2", 0.01) == 0.01
+        assert workload_scale("unknown", None) == 0.05
+
+    def test_simulate_workload_cached(self):
+        clear_cache()
+        a = simulate_workload(
+            "raid10", "rsrch_2", scale=0.02, n_pairs=2
+        )
+        b = simulate_workload(
+            "raid10", "rsrch_2", scale=0.02, n_pairs=2
+        )
+        assert a is b
+
+    def test_config_overrides_change_cache_key(self):
+        clear_cache()
+        a = simulate_workload(
+            "rolo-p", "rsrch_2", scale=0.02, n_pairs=2
+        )
+        b = simulate_workload(
+            "rolo-p",
+            "rsrch_2",
+            scale=0.02,
+            n_pairs=2,
+            free_space_bytes=2 * 1024 * 1024,
+        )
+        assert a is not b
+
+    def test_run_scheme_set_returns_all(self):
+        results = run_scheme_set(
+            "rsrch_2", schemes=("raid10", "rolo-p"), scale=0.02, n_pairs=2
+        )
+        assert set(results) == {"raid10", "rolo-p"}
+
+
+class TestQuickExperimentRuns:
+    """Tiny-scale smoke runs of each experiment family."""
+
+    def test_fig9_values_match_paper_equations(self):
+        report = get_experiment("fig9").run()
+        table = report.get_table("Fig 9: MTTDL (years, closed forms)")
+        assert len(table.rows) == 7
+        # RoLo-R column dominates RAID10 column everywhere.
+        rolo_r = table.column("rolo-r")
+        raid10 = table.column("raid10")
+        assert all(r > b for r, b in zip(rolo_r, raid10))
+
+    def test_fig10_mini(self):
+        clear_cache()
+        report = get_experiment("fig10").run(
+            scale=0.01, n_pairs=2, workloads=("rsrch_2",)
+        )
+        energy = report.get_table(
+            "Fig 10(a): energy consumption (normalized to RAID10)"
+        )
+        assert len(energy.rows) == 1
+        row = energy.rows[0]
+        assert row[1] == pytest.approx(1.0)  # raid10 vs itself
+
+    def test_fig2_mini(self):
+        report = get_experiment("fig2").run(
+            scale=0.01,
+            iops_levels=(50,),
+            capacities_gb=(8,),
+            target_cycles=2,
+        )
+        ratios = report.get_table("Fig 2(c): destaging interval ratio")
+        assert len(ratios.rows) == 1
+        assert 0 < ratios.rows[0][2] < 1
+
+    def test_fig3_mini(self):
+        report = get_experiment("fig3").run(
+            scale=0.01, iops_levels=(50,), duration_s=120.0
+        )
+        table = report.get_table("Fig 3: duty fractions")
+        idle = table.rows[0][1]
+        assert 0.5 < idle <= 1.0
+
+    def test_table1_mini(self):
+        clear_cache()
+        report = get_experiment("table1").run(
+            scale=0.01, n_pairs=2, workloads=("rsrch_2",)
+        )
+        table = report.tables[0]
+        raid10_index = table.headers.index("raid10")
+        assert table.rows[0][raid10_index] == 0

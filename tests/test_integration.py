@@ -1,0 +1,198 @@
+"""Cross-scheme integration tests: the invariants of DESIGN.md §7."""
+
+import pytest
+
+from tests.conftest import make_trace, small_config
+from repro.core import SCHEMES, build_controller, run_trace
+from repro.core.base import run_trace as run_trace_base
+from repro.sim import Simulator
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+KB = 1024
+MB = 1024 * KB
+
+ALL_SCHEMES = sorted(SCHEMES)
+
+
+def mixed_trace(seed=3):
+    config = SyntheticTraceConfig(
+        duration_s=60.0,
+        iops=25.0,
+        write_ratio=0.9,
+        avg_request_bytes=32 * KB,
+        size_sigma=0.4,
+        footprint_bytes=16 * MB,
+        read_locality=0.5,
+        seed=seed,
+    )
+    return generate_trace(config)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every scheme once on the same mixed trace."""
+    trace = mixed_trace()
+    out = {}
+    for scheme in ALL_SCHEMES:
+        sim = Simulator()
+        controller = build_controller(scheme, sim, small_config())
+        metrics = run_trace(controller, trace)
+        out[scheme] = (controller, metrics, trace)
+    return out
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_every_request_completes(self, results, scheme):
+        _, metrics, trace = results[scheme]
+        assert metrics.requests == len(trace)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_mirrors_consistent_after_drain(self, results, scheme):
+        controller, _, _ = results[scheme]
+        controller.assert_consistent()
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_response_times_positive_and_bounded(self, results, scheme):
+        _, metrics, _ = results[scheme]
+        assert metrics.response_time.min > 0
+        # Nothing should exceed a couple of spin-up times on this load.
+        assert metrics.response_time.max < 30.0
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_energy_accounting_closes(self, results, scheme):
+        """State durations span at least the measurement window and never
+        run past the simulated clock."""
+        controller, metrics, _ = results[scheme]
+        assert metrics.total_energy_j > 0
+        for disk in controller.all_disks():
+            total_time = sum(disk.power.state_durations.values())
+            assert total_time >= metrics.duration_s - 1e-9
+            assert total_time <= controller.sim.now + 1e-9
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_measurement_window_covers_trace(self, results, scheme):
+        _, metrics, trace = results[scheme]
+        assert metrics.duration_s >= trace.duration
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_write_read_counts(self, results, scheme):
+        _, metrics, trace = results[scheme]
+        writes = sum(1 for r in trace if r.is_write)
+        assert metrics.writes == writes
+        assert metrics.reads == len(trace) - writes
+
+
+class TestCrossSchemeOrderings:
+    """Orderings that hold even at micro scale.
+
+    Energy *levels* at two pairs and a 60 s horizon are dominated by
+    unscalable spin physics (and GRAID carries a fifth disk), so the
+    paper-level energy comparisons live in the write-dominant fixture of
+    :class:`TestWriteDominantOrderings` and in the experiment harness.
+    """
+
+    def test_raid10_never_spins(self, results):
+        _, metrics, _ = results["raid10"]
+        assert metrics.spin_cycle_count == 0
+
+    def test_spin_count_ordering(self, results):
+        """Table I ordering: RAID10 = 0 <= RoLo-P <= GRAID-ish."""
+        spins = {s: results[s][1].spin_cycle_count for s in ALL_SCHEMES}
+        assert spins["raid10"] == 0
+        assert spins["rolo-p"] <= spins["rolo-e"]
+
+    def test_rolo_p_and_r_same_energy_class(self, results):
+        """Paper: RoLo-P and RoLo-R energy nearly identical."""
+        p = results["rolo-p"][1].total_energy_j
+        r = results["rolo-r"][1].total_energy_j
+        assert r == pytest.approx(p, rel=0.05)
+
+    def test_rolo_r_not_faster_than_rolo_p(self, results):
+        p = results["rolo-p"][1].response_time.mean
+        r = results["rolo-r"][1].response_time.mean
+        assert r >= p * 0.95
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        trace = mixed_trace(seed=9)
+
+        def run_once():
+            sim = Simulator()
+            controller = build_controller(
+                "rolo-p", sim, small_config()
+            )
+            return run_trace(controller, trace)
+
+        a = run_once()
+        b = run_once()
+        assert a.total_energy_j == b.total_energy_j
+        assert a.response_time.mean == b.response_time.mean
+        assert a.spin_cycle_count == b.spin_cycle_count
+        assert a.rotations == b.rotations
+
+
+class TestWriteDominantOrderings:
+    """Paper-level energy orderings on a write-only workload with long
+    quiet stretches (where standby time, not spin physics, dominates)."""
+
+    @pytest.fixture(scope="class")
+    def write_results(self):
+        config = SyntheticTraceConfig(
+            duration_s=600.0,
+            iops=4.0,
+            write_ratio=1.0,
+            avg_request_bytes=64 * KB,
+            footprint_bytes=16 * MB,
+            seed=11,
+        )
+        trace = generate_trace(config)
+        out = {}
+        for scheme in ALL_SCHEMES:
+            sim = Simulator()
+            controller = build_controller(scheme, sim, small_config())
+            out[scheme] = run_trace(controller, trace)
+        return out
+
+    def test_rolo_schemes_save_energy_over_raid10(self, write_results):
+        base = write_results["raid10"].total_energy_j
+        for scheme in ("rolo-p", "rolo-r", "rolo-e"):
+            assert write_results[scheme].total_energy_j < base
+
+    def test_rolo_e_saves_most_energy(self, write_results):
+        energies = {
+            s: write_results[s].total_energy_j for s in ALL_SCHEMES
+        }
+        assert energies["rolo-e"] == min(energies.values())
+
+    def test_rolo_p_beats_graid(self, write_results):
+        """No dedicated fifth log disk: RoLo-P burns less than GRAID."""
+        assert (
+            write_results["rolo-p"].total_energy_j
+            < write_results["graid"].total_energy_j
+        )
+
+
+class TestWriteOnlyStress:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_sustained_writes_stay_consistent(self, scheme):
+        """Push every scheme through multiple logging cycles."""
+        config = SyntheticTraceConfig(
+            duration_s=120.0,
+            iops=40.0,
+            write_ratio=1.0,
+            avg_request_bytes=64 * KB,
+            footprint_bytes=12 * MB,
+            seed=5,
+        )
+        trace = generate_trace(config)
+        sim = Simulator()
+        controller = build_controller(scheme, sim, small_config())
+        metrics = run_trace(controller, trace)
+        controller.assert_consistent()
+        assert metrics.requests == len(trace)
+        if scheme in ("rolo-p", "rolo-r"):
+            assert controller.metrics.rotations >= 1
+        if scheme in ("graid", "rolo-e"):
+            assert controller.metrics.destage_cycles >= 1

@@ -1,0 +1,135 @@
+"""Unit tests for the RAID10 address mapping."""
+
+import pytest
+
+from repro.raid.layout import Raid10Layout, StripeSegment
+
+KB = 1024
+MB = 1024 * KB
+
+
+@pytest.fixture
+def layout():
+    return Raid10Layout(n_pairs=4, stripe_unit=64 * KB, data_capacity=16 * MB)
+
+
+class TestValidation:
+    def test_bad_pairs(self):
+        with pytest.raises(ValueError):
+            Raid10Layout(0, 64 * KB, MB)
+
+    def test_bad_stripe(self):
+        with pytest.raises(ValueError):
+            Raid10Layout(2, 0, MB)
+
+    def test_capacity_must_align(self):
+        with pytest.raises(ValueError):
+            Raid10Layout(2, 64 * KB, 64 * KB + 1)
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            StripeSegment(-1, 0, 1)
+        with pytest.raises(ValueError):
+            StripeSegment(0, 0, 0)
+
+
+class TestMapping:
+    def test_logical_capacity(self, layout):
+        assert layout.logical_capacity == 4 * 16 * MB
+
+    def test_single_unit_maps_to_one_segment(self, layout):
+        segs = layout.map_extent(0, 64 * KB)
+        assert len(segs) == 1
+        assert segs[0].pair == 0
+        assert segs[0].nbytes == 64 * KB
+
+    def test_round_robin_over_pairs(self, layout):
+        pairs = [
+            layout.map_extent(i * 64 * KB, 64 * KB)[0].pair for i in range(8)
+        ]
+        assert pairs == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_unaligned_extent_splits(self, layout):
+        segs = layout.map_extent(32 * KB, 64 * KB)
+        assert len(segs) == 2
+        assert segs[0].pair == 0
+        assert segs[0].nbytes == 32 * KB
+        assert segs[1].pair == 1
+        assert segs[1].nbytes == 32 * KB
+
+    def test_total_bytes_preserved(self, layout):
+        for offset, nbytes in [(0, 64 * KB), (1000, 300 * KB), (5 * KB, 7)]:
+            segs = layout.map_extent(offset, nbytes)
+            assert sum(s.nbytes for s in segs) == nbytes
+
+    def test_segments_within_data_region(self, layout):
+        segs = layout.map_extent(0, layout.logical_capacity)
+        for seg in segs:
+            assert 0 <= seg.disk_offset
+            assert seg.end_offset <= layout.data_capacity
+
+    def test_out_of_range_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.map_extent(layout.logical_capacity, 1)
+        with pytest.raises(ValueError):
+            layout.map_extent(-1, 10)
+        with pytest.raises(ValueError):
+            layout.map_extent(0, 0)
+
+    def test_round_trip_unaligned(self, layout):
+        for logical in [0, 64 * KB, 3 * 64 * KB + 5 * KB, 999 * KB]:
+            seg = layout.map_extent(logical, 1)[0]
+            assert layout.to_logical(seg.pair, seg.disk_offset) == logical
+
+    def test_to_logical_validation(self, layout):
+        with pytest.raises(ValueError):
+            layout.to_logical(99, 0)
+        with pytest.raises(ValueError):
+            layout.to_logical(0, layout.data_capacity)
+
+
+class TestUnits:
+    def test_single_unit(self, layout):
+        units = list(layout.units(0, 64 * KB))
+        assert units == [(0, 0)]
+
+    def test_partial_units_rounded_to_unit_grain(self, layout):
+        units = list(layout.units(32 * KB, 64 * KB))
+        # Touches tail of pair-0 unit 0 and head of pair-1 unit 0.
+        assert (0, 0) in units
+        assert (1, 0) in units
+        assert len(units) == 2
+
+    def test_large_extent_counts(self, layout):
+        units = list(layout.units(0, MB))
+        assert len(units) == MB // (64 * KB)
+
+
+class TestSpread:
+    def test_spread_is_bijective(self):
+        layout = Raid10Layout(2, 64 * KB, 4 * MB, spread=True)
+        rows = 4 * MB // (64 * KB)
+        physical = {
+            layout.map_extent(r * 2 * 64 * KB, 64 * KB)[0].disk_offset
+            for r in range(rows)
+        }
+        assert len(physical) == rows
+
+    def test_spread_round_trip(self):
+        layout = Raid10Layout(3, 64 * KB, 4 * MB, spread=True)
+        for logical in range(0, layout.logical_capacity, 193 * KB):
+            seg = layout.map_extent(logical, 1)[0]
+            assert layout.to_logical(seg.pair, seg.disk_offset) == logical
+
+    def test_spread_actually_scatters(self):
+        layout = Raid10Layout(2, 64 * KB, 64 * MB, spread=True)
+        # Two logically adjacent rows on the same pair land far apart.
+        a = layout.map_extent(0, 64 * KB)[0].disk_offset
+        b = layout.map_extent(2 * 64 * KB, 64 * KB)[0].disk_offset
+        assert abs(b - a) > 10 * 64 * KB
+
+    def test_no_spread_is_identity(self):
+        layout = Raid10Layout(2, 64 * KB, 4 * MB, spread=False)
+        seg = layout.map_extent(2 * 64 * KB, 64 * KB)[0]
+        assert seg.pair == 0
+        assert seg.disk_offset == 64 * KB

@@ -1,0 +1,96 @@
+"""Unit tests for run metrics and cycle windows."""
+
+import pytest
+
+from repro.core.metrics import CycleWindow, RunMetrics
+from repro.disk.disk import Disk
+from repro.disk.models import ULTRASTAR_36Z15
+from repro.disk.power import PowerState
+from repro.sim import Simulator
+
+
+class TestCycleWindow:
+    def test_intervals_and_energies(self):
+        c = CycleWindow(
+            logging_start=0.0,
+            destage_start=10.0,
+            destage_end=14.0,
+            energy_at_logging_start=100.0,
+            energy_at_destage_start=300.0,
+            energy_at_destage_end=500.0,
+        )
+        assert c.complete
+        assert c.logging_interval == 10.0
+        assert c.destage_interval == 4.0
+        assert c.logging_energy == 200.0
+        assert c.destage_energy == 200.0
+
+    def test_incomplete(self):
+        assert not CycleWindow(logging_start=0.0).complete
+
+
+class TestRunMetrics:
+    def test_record_response_classifies(self):
+        m = RunMetrics()
+        m.record_response(True, 0.01)
+        m.record_response(False, 0.03)
+        m.record_response(True, 0.02)
+        assert m.requests == 3
+        assert m.writes == 2
+        assert m.reads == 1
+        assert m.mean_response_time_ms == pytest.approx(20.0)
+        assert m.write_response_time.mean == pytest.approx(0.015)
+
+    def test_read_hit_rate(self):
+        m = RunMetrics()
+        assert m.read_hit_rate == 0.0
+        m.read_hits = 3
+        m.read_misses = 1
+        assert m.read_hit_rate == pytest.approx(0.75)
+
+    def test_cycle_ratios(self):
+        m = RunMetrics()
+        m.cycles.append(
+            CycleWindow(0.0, 8.0, 10.0, 0.0, 80.0, 100.0)
+        )
+        m.cycles.append(
+            CycleWindow(10.0, 16.0, 20.0, 100.0, 160.0, 200.0)
+        )
+        # intervals: (8,2) and (6,4) -> ratios 0.2 and 0.4
+        assert m.destage_interval_ratio() == pytest.approx(0.3)
+        assert m.destage_energy_ratio() == pytest.approx(0.3)
+
+    def test_cycle_ratios_ignore_incomplete(self):
+        m = RunMetrics()
+        m.cycles.append(CycleWindow(0.0))
+        assert m.destage_interval_ratio() is None
+
+    def test_finalize_aggregates_roles(self):
+        sim = Simulator()
+        d1 = Disk(sim, ULTRASTAR_36Z15, "P0")
+        d2 = Disk(sim, ULTRASTAR_36Z15, "M0", initial_state=PowerState.STANDBY)
+        sim.run(until=10.0)
+        m = RunMetrics()
+        m.finalize(sim.now, {"primary": [d1], "mirror": [d2]})
+        assert m.duration_s == 10.0
+        assert m.total_energy_j == pytest.approx(10 * 10.2 + 10 * 2.5)
+        assert m.energy_by_role["primary"] == pytest.approx(102.0)
+        assert m.idle_fraction("primary") == pytest.approx(1.0)
+        assert m.idle_fraction("mirror") == 0.0
+        assert m.mean_power_w == pytest.approx(12.7)
+
+    def test_idle_fraction_unknown_role(self):
+        assert RunMetrics().idle_fraction("nope") == 0.0
+
+    def test_spin_cycle_count(self):
+        m = RunMetrics()
+        m.spin_up_count = 3
+        m.spin_down_count = 2
+        assert m.spin_cycle_count == 5
+
+    def test_summary_contains_key_fields(self):
+        m = RunMetrics()
+        m.record_response(True, 0.01)
+        text = m.summary()
+        assert "requests=1" in text
+        assert "mean_rt=" in text

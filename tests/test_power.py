@@ -1,0 +1,121 @@
+"""Unit tests for the power model and energy accounting."""
+
+import pytest
+
+from repro.disk.models import ULTRASTAR_36Z15
+from repro.disk.power import EnergyAccountant, PowerModel, PowerState
+
+
+@pytest.fixture
+def model():
+    return PowerModel(ULTRASTAR_36Z15)
+
+
+class TestPowerModel:
+    def test_basic_draws(self, model):
+        assert model.draw(PowerState.ACTIVE) == 13.5
+        assert model.draw(PowerState.IDLE) == 10.2
+        assert model.draw(PowerState.STANDBY) == 2.5
+
+    def test_transition_draws_reproduce_datasheet_energy(self, model):
+        spec = ULTRASTAR_36Z15
+        up = model.draw(PowerState.SPINNING_UP) * spec.spin_up_time
+        down = model.draw(PowerState.SPINNING_DOWN) * spec.spin_down_time
+        assert up == pytest.approx(spec.spin_up_energy)
+        assert down == pytest.approx(spec.spin_down_energy)
+
+
+class TestPowerStateFlags:
+    def test_spun_up(self):
+        assert PowerState.ACTIVE.spun_up
+        assert PowerState.IDLE.spun_up
+        assert not PowerState.STANDBY.spun_up
+        assert not PowerState.SPINNING_UP.spun_up
+        assert not PowerState.SPINNING_DOWN.spun_up
+
+
+class TestEnergyAccountant:
+    def test_idle_integration(self, model):
+        acct = EnergyAccountant(model, 0.0, PowerState.IDLE)
+        acct.close(10.0)
+        assert acct.energy_joules == pytest.approx(10 * 10.2)
+        assert acct.state_durations[PowerState.IDLE] == pytest.approx(10.0)
+
+    def test_state_sequence_energy(self, model):
+        acct = EnergyAccountant(model, 0.0, PowerState.IDLE)
+        acct.transition(5.0, PowerState.ACTIVE)
+        acct.transition(8.0, PowerState.IDLE)
+        acct.close(10.0)
+        expected = 5 * 10.2 + 3 * 13.5 + 2 * 10.2
+        assert acct.energy_joules == pytest.approx(expected)
+
+    def test_full_spin_cycle_energy(self, model):
+        spec = ULTRASTAR_36Z15
+        acct = EnergyAccountant(model, 0.0, PowerState.IDLE)
+        acct.transition(10.0, PowerState.SPINNING_DOWN)
+        acct.transition(10.0 + spec.spin_down_time, PowerState.STANDBY)
+        acct.transition(20.0, PowerState.SPINNING_UP)
+        acct.transition(20.0 + spec.spin_up_time, PowerState.IDLE)
+        acct.close(40.0)
+        idle_time = 10.0 + (40.0 - 20.0 - spec.spin_up_time)
+        standby_time = 20.0 - 10.0 - spec.spin_down_time
+        expected = (
+            idle_time * 10.2
+            + standby_time * 2.5
+            + spec.spin_down_energy
+            + spec.spin_up_energy
+        )
+        assert acct.energy_joules == pytest.approx(expected)
+
+    def test_spin_counts(self, model):
+        acct = EnergyAccountant(model, 0.0, PowerState.IDLE)
+        acct.transition(1.0, PowerState.SPINNING_DOWN)
+        acct.transition(2.5, PowerState.STANDBY)
+        acct.transition(5.0, PowerState.SPINNING_UP)
+        acct.transition(15.9, PowerState.IDLE)
+        assert acct.spin_up_count == 1
+        assert acct.spin_down_count == 1
+        assert acct.spin_cycle_count == 2
+
+    def test_close_does_not_count_spins(self, model):
+        acct = EnergyAccountant(model, 0.0, PowerState.IDLE)
+        acct.transition(1.0, PowerState.SPINNING_UP)
+        acct.close(2.0)
+        acct.close(3.0)
+        assert acct.spin_up_count == 1
+
+    def test_time_backwards_rejected(self, model):
+        acct = EnergyAccountant(model, 5.0, PowerState.IDLE)
+        with pytest.raises(ValueError):
+            acct.transition(4.0, PowerState.ACTIVE)
+
+    def test_duty_fraction(self, model):
+        acct = EnergyAccountant(model, 0.0, PowerState.IDLE)
+        acct.transition(4.0, PowerState.ACTIVE)
+        assert acct.duty_fraction(PowerState.IDLE, 8.0) == pytest.approx(0.5)
+        assert acct.duty_fraction(PowerState.ACTIVE, 8.0) == pytest.approx(0.5)
+
+    def test_duty_fraction_zero_elapsed(self, model):
+        acct = EnergyAccountant(model, 0.0, PowerState.IDLE)
+        assert acct.duty_fraction(PowerState.IDLE, 0.0) == 0.0
+
+    def test_mean_power(self, model):
+        acct = EnergyAccountant(model, 0.0, PowerState.STANDBY)
+        assert acct.mean_power(10.0) == pytest.approx(2.5)
+
+    def test_energy_at_includes_open_span(self, model):
+        acct = EnergyAccountant(model, 0.0, PowerState.IDLE)
+        acct.transition(5.0, PowerState.ACTIVE)
+        assert acct.energy_at(7.0) == pytest.approx(5 * 10.2 + 2 * 13.5)
+        # energy_at must not mutate accounting state.
+        assert acct.energy_joules == pytest.approx(5 * 10.2)
+
+    def test_energy_at_time_backwards_rejected(self, model):
+        acct = EnergyAccountant(model, 0.0, PowerState.IDLE)
+        acct.transition(5.0, PowerState.ACTIVE)
+        with pytest.raises(ValueError):
+            acct.energy_at(4.0)
+
+    def test_elapsed(self, model):
+        acct = EnergyAccountant(model, 2.0, PowerState.IDLE)
+        assert acct.elapsed(7.0) == pytest.approx(5.0)

@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) on the core data structures."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cache import LRUCache
+from repro.core.destage import coalesce_units
+from repro.core.logspace import LogSpaceError, RegionAllocator
+from repro.raid.layout import Raid10Layout
+from repro.reliability import AbsorbingCTMC
+from repro.sim.stats import StreamingStat
+from repro.traces.synthetic import (
+    ALIGNMENT,
+    SyntheticTraceConfig,
+    generate_trace,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+# ----------------------------------------------------------------------
+# RegionAllocator: allocate/free sequences preserve accounting invariants.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(1, 64)), min_size=1, max_size=60
+    )
+)
+def test_allocator_invariants_under_random_ops(ops):
+    alloc = RegionAllocator(256 * KB)
+    live = []  # (offset, size)
+    for is_alloc, units in ops:
+        size = units * KB
+        if is_alloc or not live:
+            try:
+                offset = alloc.allocate(size)
+            except LogSpaceError:
+                continue
+            for o, s in live:  # freshly allocated space must not overlap
+                assert offset + size <= o or o + s <= offset
+            live.append((offset, size))
+        else:
+            offset, size = live.pop(0)
+            alloc.free(offset, size)
+        alloc.check_invariants()
+        assert alloc.allocated == sum(s for _, s in live)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sizes=st.lists(st.integers(1, 32), min_size=1, max_size=30))
+def test_allocator_free_all_restores_full_coalesced_space(sizes):
+    total = sum(sizes) * KB
+    alloc = RegionAllocator(total)
+    allocations = [(alloc.allocate(s * KB), s * KB) for s in sizes]
+    for offset, size in reversed(allocations):
+        alloc.free(offset, size)
+    assert alloc.free_bytes == total
+    assert alloc.fragments == 1
+    assert alloc.largest_free_extent == total
+
+
+# ----------------------------------------------------------------------
+# RAID10 layout: mapping is a partition and (with spread) a bijection.
+# ----------------------------------------------------------------------
+layout_params = st.tuples(
+    st.integers(2, 8),          # pairs
+    st.sampled_from([16, 32, 64]),  # stripe unit KB
+    st.booleans(),              # spread
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    params=layout_params,
+    offset=st.integers(0, 4 * MB - 1),
+    nbytes=st.integers(1, 512 * KB),
+)
+def test_layout_partitions_extent(params, offset, nbytes):
+    pairs, unit_kb, spread = params
+    layout = Raid10Layout(pairs, unit_kb * KB, 8 * MB, spread=spread)
+    assume(offset + nbytes <= layout.logical_capacity)
+    segments = layout.map_extent(offset, nbytes)
+    assert sum(s.nbytes for s in segments) == nbytes
+    for seg in segments:
+        assert 0 <= seg.pair < pairs
+        assert 0 <= seg.disk_offset < layout.data_capacity
+        assert seg.end_offset <= layout.data_capacity
+        # Segments never straddle a stripe unit.
+        unit = unit_kb * KB
+        assert seg.disk_offset // unit == (seg.end_offset - 1) // unit
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=layout_params, logical=st.integers(0, 16 * MB - 1))
+def test_layout_round_trip(params, logical):
+    pairs, unit_kb, spread = params
+    layout = Raid10Layout(pairs, unit_kb * KB, 8 * MB, spread=spread)
+    assume(logical < layout.logical_capacity)
+    seg = layout.map_extent(logical, 1)[0]
+    assert layout.to_logical(seg.pair, seg.disk_offset) == logical
+
+
+# ----------------------------------------------------------------------
+# LRU cache: size bound and exact hit semantics vs a model.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(1, 8),
+    keys=st.lists(st.integers(0, 12), min_size=1, max_size=80),
+)
+def test_lru_matches_reference_model(capacity, keys):
+    cache = LRUCache(capacity)
+    model = []  # LRU->MRU order
+    hits = 0
+    for key in keys:
+        if cache.get(key) is not None:
+            assert key in model
+            hits += 1
+            model.remove(key)
+            model.append(key)
+        else:
+            assert key not in model
+            cache.put(key, key)
+            if key in model:
+                model.remove(key)
+            model.append(key)
+            if len(model) > capacity:
+                model.pop(0)
+        assert len(cache) == len(model)
+        assert list(cache) == model
+    assert cache.hits == hits
+
+
+# ----------------------------------------------------------------------
+# Destage coalescing: conservation and batch bounds.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    units=st.sets(st.integers(0, 200), min_size=1, max_size=60),
+    batch_units=st.integers(1, 16),
+)
+def test_coalesce_conserves_units(units, batch_units):
+    unit = 64 * KB
+    offsets = [u * unit for u in units]
+    batches = coalesce_units(offsets, unit, batch_units * unit)
+    assert sum(n for _, n in batches) == len(units) * unit
+    covered = set()
+    for offset, nbytes in batches:
+        assert nbytes <= batch_units * unit
+        assert offset % unit == 0 and nbytes % unit == 0
+        for base in range(offset, offset + nbytes, unit):
+            assert base // unit in units
+            assert base not in covered
+            covered.add(base)
+    assert len(covered) == len(units)
+
+
+# ----------------------------------------------------------------------
+# StreamingStat matches the naive computation.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100
+    )
+)
+def test_streaming_stat_matches_naive(values):
+    stat = StreamingStat()
+    for v in values:
+        stat.add(v)
+    mean = sum(values) / len(values)
+    assert stat.mean == pytest_approx(mean)
+    assert stat.min == min(values)
+    assert stat.max == max(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    assert abs(stat.variance - var) <= max(1e-6, abs(var) * 1e-6) + 1e-3
+
+
+def pytest_approx(x):
+    import pytest
+
+    return pytest.approx(x, rel=1e-9, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# CTMC: scaling laws of the mirrored-pair chain.
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    lam=st.floats(1e-7, 1e-3),
+    mu=st.floats(1e-3, 1.0),
+    factor=st.floats(1.5, 10.0),
+)
+def test_ctmc_time_rescaling(lam, mu, factor):
+    """Scaling all rates by k divides the absorption time by k."""
+    from repro.reliability.mttdl import mirrored_pair_chain
+
+    base = mirrored_pair_chain(lam, mu).mean_time_to_absorption(0)
+    scaled = mirrored_pair_chain(
+        lam * factor, mu * factor
+    ).mean_time_to_absorption(0)
+    assert scaled * factor == pytest_approx_rel(base, 1e-6)
+
+
+def pytest_approx_rel(x, rel):
+    import pytest
+
+    return pytest.approx(x, rel=rel)
+
+
+@settings(max_examples=40, deadline=None)
+@given(lam=st.floats(1e-7, 1e-4), mu=st.floats(1e-3, 1.0))
+def test_absorption_probabilities_sum_to_one(lam, mu):
+    chain = AbsorbingCTMC()
+    chain.add_state("a", absorbing=True)
+    chain.add_state("b", absorbing=True)
+    chain.add_transition(0, 1, 2 * lam)
+    chain.add_transition(1, 0, mu)
+    chain.add_transition(1, "a", lam)
+    chain.add_transition(1, "b", lam)
+    probs = chain.absorption_probabilities(0)
+    # Tolerance accommodates the conditioning of extreme mu/lambda ratios.
+    assert abs(sum(probs.values()) - 1.0) < 1e-6
+
+
+# ----------------------------------------------------------------------
+# Trace generator: structural guarantees for arbitrary configurations.
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    iops=st.floats(1.0, 60.0),
+    write_ratio=st.floats(0.3, 1.0),
+    seq=st.floats(0.0, 1.0),
+    locality=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**16),
+)
+def test_generated_traces_always_wellformed(
+    iops, write_ratio, seq, locality, seed
+):
+    config = SyntheticTraceConfig(
+        duration_s=30.0,
+        iops=iops,
+        write_ratio=write_ratio,
+        avg_request_bytes=16 * KB,
+        size_sigma=0.5,
+        footprint_bytes=8 * MB,
+        write_sequential_fraction=seq,
+        read_locality=locality,
+        seed=seed,
+    )
+    trace = generate_trace(config)
+    prev = 0.0
+    for record in trace:
+        assert record.timestamp >= prev
+        prev = record.timestamp
+        assert record.timestamp < 30.0
+        assert record.offset % ALIGNMENT == 0
+        assert record.nbytes % ALIGNMENT == 0
+        assert record.offset + record.nbytes <= config.footprint_bytes

@@ -1,0 +1,144 @@
+"""Validation of the disk server against queueing theory.
+
+The trace-driven results are only as good as the underlying queue, so we
+check the disk model against closed-form results: an M/D/1 system's mean
+wait (Pollaczek-Khinchine), server utilization, and the independence of
+service from arrival order under FCFS.
+"""
+
+import random
+
+import pytest
+
+from repro.disk.disk import Disk, DiskOp, OpKind
+from repro.disk.models import ULTRASTAR_36Z15
+from repro.sim import Simulator
+
+KB = 1024
+
+
+def run_poisson_writes(
+    rate: float,
+    nbytes: int,
+    duration: float,
+    seed: int = 1,
+    sequential: bool = True,
+):
+    """Poisson arrivals of fixed-size ops on one disk; returns latencies."""
+    sim = Simulator()
+    disk = Disk(sim, ULTRASTAR_36Z15, "D")
+    rng = random.Random(seed)
+    latencies = []
+
+    def arrive():
+        disk.submit(
+            DiskOp(
+                OpKind.WRITE,
+                0,
+                nbytes,
+                sequential_hint=sequential,
+                on_complete=lambda op: latencies.append(op.latency),
+            )
+        )
+
+    t = rng.expovariate(rate)
+    while t < duration:
+        sim.at(t, arrive)
+        t += rng.expovariate(rate)
+    sim.run()
+    return disk, latencies, sim.now
+
+
+class TestMD1:
+    @pytest.mark.parametrize("rho_target", [0.3, 0.6, 0.8])
+    def test_mean_wait_matches_pollaczek_khinchine(self, rho_target):
+        """M/D/1: Wq = rho * s / (2 (1 - rho))."""
+        nbytes = 64 * KB
+        service = ULTRASTAR_36Z15.transfer_time(nbytes)
+        rate = rho_target / service
+        disk, latencies, _ = run_poisson_writes(
+            rate, nbytes, duration=2000.0 * service / rho_target
+        )
+        measured_wait = sum(latencies) / len(latencies) - service
+        expected_wait = rho_target * service / (2 * (1 - rho_target))
+        assert measured_wait == pytest.approx(expected_wait, rel=0.15)
+
+    def test_utilization_matches_offered_load(self):
+        nbytes = 64 * KB
+        service = ULTRASTAR_36Z15.transfer_time(nbytes)
+        rho = 0.5
+        duration = 3000 * service
+        disk, _, end = run_poisson_writes(rho / service, nbytes, duration)
+        assert disk.busy_time / end == pytest.approx(rho, rel=0.1)
+
+    def test_latency_never_below_service_time(self):
+        nbytes = 64 * KB
+        service = ULTRASTAR_36Z15.transfer_time(nbytes)
+        _, latencies, _ = run_poisson_writes(
+            0.5 / service, nbytes, duration=500 * service
+        )
+        assert min(latencies) >= service * 0.999
+
+    def test_wait_grows_superlinearly_with_load(self):
+        """Queueing wait at rho=0.8 far exceeds 2x the wait at rho=0.4."""
+        nbytes = 64 * KB
+        service = ULTRASTAR_36Z15.transfer_time(nbytes)
+
+        def mean_wait(rho):
+            _, lats, _ = run_poisson_writes(
+                rho / service, nbytes, duration=3000 * service
+            )
+            return sum(lats) / len(lats) - service
+
+        assert mean_wait(0.8) > 2.5 * mean_wait(0.4)
+
+
+class TestThroughputCeilings:
+    def test_sequential_throughput_reaches_sustained_rate(self):
+        """A saturated sequential stream moves bytes at ~55 MB/s."""
+        sim = Simulator()
+        disk = Disk(sim, ULTRASTAR_36Z15, "D")
+        n = 500
+        for i in range(n):
+            disk.submit(
+                DiskOp(OpKind.WRITE, 0, 256 * KB, sequential_hint=True)
+            )
+        sim.run()
+        rate = disk.bytes_transferred / sim.now
+        assert rate == pytest.approx(
+            ULTRASTAR_36Z15.sustained_transfer_rate, rel=0.01
+        )
+
+    def test_random_iops_ceiling_matches_mechanics(self):
+        """Saturated random 4K ops complete at ~1/(seek+rot+xfer)."""
+        sim = Simulator()
+        disk = Disk(sim, ULTRASTAR_36Z15, "D")
+        rng = random.Random(3)
+        sectors = ULTRASTAR_36Z15.capacity_sectors
+        n = 400
+        for _ in range(n):
+            disk.submit(
+                DiskOp(OpKind.READ, rng.randrange(sectors - 100), 4 * KB)
+            )
+        sim.run()
+        iops = n / sim.now
+        expected_service = (
+            ULTRASTAR_36Z15.avg_seek_time
+            + ULTRASTAR_36Z15.avg_rotational_latency
+            + ULTRASTAR_36Z15.transfer_time(4 * KB)
+        )
+        assert iops == pytest.approx(1 / expected_service, rel=0.15)
+
+    def test_random_slower_than_sequential(self):
+        sim = Simulator()
+        a = Disk(sim, ULTRASTAR_36Z15, "A")
+        b = Disk(sim, ULTRASTAR_36Z15, "B")
+        rng = random.Random(5)
+        sectors = ULTRASTAR_36Z15.capacity_sectors
+        for i in range(100):
+            a.submit(DiskOp(OpKind.WRITE, 0, 64 * KB, sequential_hint=True))
+            b.submit(
+                DiskOp(OpKind.WRITE, rng.randrange(sectors - 200), 64 * KB)
+            )
+        sim.run()
+        assert b.busy_time > 3 * a.busy_time

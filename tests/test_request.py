@@ -1,0 +1,75 @@
+"""Unit tests for logical request fan-in."""
+
+import pytest
+
+from repro.raid.request import IORequest, RequestKind
+
+
+def make(kind=RequestKind.WRITE, **kwargs):
+    return IORequest(kind, 0, 4096, arrival_time=1.0, **kwargs)
+
+
+class TestFanIn:
+    def test_completes_after_all_ops(self):
+        done = []
+        req = make(on_complete=done.append)
+        req.add_waits(2)
+        req.seal(1.0)
+        req.op_done(2.0)
+        assert not done
+        req.op_done(3.0)
+        assert done == [req]
+        assert req.response_time == pytest.approx(2.0)
+
+    def test_seal_with_no_ops_completes_immediately(self):
+        done = []
+        req = make(kind=RequestKind.READ, on_complete=done.append)
+        req.seal(1.5)
+        assert done == [req]
+        assert req.response_time == pytest.approx(0.5)
+
+    def test_not_complete_before_seal(self):
+        done = []
+        req = make(on_complete=done.append)
+        req.add_waits()
+        req.op_done(2.0)
+        assert not done  # seal not yet called
+        req.seal(2.5)
+        assert done == [req]
+
+    def test_op_done_without_waits_rejected(self):
+        req = make()
+        with pytest.raises(ValueError):
+            req.op_done(1.0)
+
+    def test_add_waits_validation(self):
+        req = make()
+        with pytest.raises(ValueError):
+            req.add_waits(0)
+
+    def test_response_time_before_completion_rejected(self):
+        req = make()
+        req.add_waits()
+        with pytest.raises(ValueError):
+            _ = req.response_time
+
+    def test_complete_property(self):
+        req = make()
+        req.add_waits()
+        req.seal(1.0)
+        assert not req.complete
+        req.op_done(4.0)
+        assert req.complete
+        assert req.finish_time == 4.0
+
+
+class TestValidation:
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            IORequest(RequestKind.READ, -1, 10, 0.0)
+        with pytest.raises(ValueError):
+            IORequest(RequestKind.READ, 0, 0, 0.0)
+
+    def test_is_write(self):
+        assert make().is_write
+        assert not make(kind=RequestKind.READ).is_write

@@ -1,0 +1,134 @@
+"""Deeper tests of RoLo-E internals: cache space accounting, the SPINNING
+phase, and partial-segment hit logic."""
+
+import pytest
+
+from tests.conftest import make_trace, small_config
+from repro.core import RoloEController, run_trace
+from repro.core.base import run_trace as run_trace_base
+from repro.core.rolo_e import _Mode
+from repro.disk.power import PowerState
+from repro.sim import Simulator
+
+KB = 1024
+MB = 1024 * KB
+
+
+def build(sim, **overrides):
+    return RoloEController(sim, small_config(**overrides))
+
+
+class TestCacheSpaceAccounting:
+    def test_cache_fill_charges_log_space(self, sim):
+        controller = build(sim)
+        run_trace_base(
+            controller,
+            make_trace([(0.0, "r", 64 * KB, 64 * KB)]),
+            drain=False,
+        )
+        total_cache = sum(
+            r.cache_used
+            for r in controller.primary_logs + controller.mirror_logs
+        )
+        assert total_cache == 64 * KB
+
+    def test_eviction_releases_space(self, sim):
+        # Cache capacity: 30% of 4MB = 1.2MB -> 19 units of 64K.
+        controller = build(sim)
+        capacity_units = controller._cache.capacity
+        # Odd stripe numbers all map to pair 1 (the off-duty pair), so
+        # every read is a cacheable miss.
+        reads = [
+            (float(i), "r", (1 + 2 * i) * 64 * KB, 64 * KB)
+            for i in range(capacity_units + 5)
+        ]
+        run_trace_base(controller, make_trace(reads), drain=False)
+        assert controller._cache.evictions >= 5
+        total_cache = sum(
+            r.cache_used
+            for r in controller.primary_logs + controller.mirror_logs
+        )
+        # Live cache charge never exceeds the configured capacity.
+        assert total_cache <= capacity_units * 64 * KB
+        for region in controller.primary_logs + controller.mirror_logs:
+            region.check_invariants()
+
+    def test_cache_cleared_on_cycle_end(self, sim):
+        controller = build(sim)
+        trace = make_trace(
+            [(0.0, "r", 64 * KB, 64 * KB)]
+            + [(1.0 + 0.05 * i, "w", i * 64 * KB, 64 * KB) for i in range(55)]
+        )
+        run_trace(controller, trace)
+        assert len(controller._cache) == 0
+        for region in controller.primary_logs + controller.mirror_logs:
+            assert region.cache_used == 0
+
+
+class TestSpinningPhase:
+    def test_logging_continues_while_array_wakes(self, sim):
+        """Writes during the SPINNING window keep landing in the log."""
+        controller = build(sim)
+        # 52 writes cross the 0.8 threshold; several more arrive during
+        # the ~11 s spin-up window.
+        trace = make_trace(
+            [(0.05 * i, "w", (i % 30) * 64 * KB, 64 * KB) for i in range(80)]
+        )
+        metrics = run_trace_base(controller, trace, drain=False)
+        assert metrics.requests == 80
+        # Logging continued past the destage trigger (52 units at the
+        # 0.8 threshold): more than 52 writes were absorbed by the log.
+        writes_logged = controller.metrics.logged_bytes // (2 * 64 * KB)
+        assert writes_logged > 52
+        # And the bulk of writes stayed fast (the tiny test region cannot
+        # buffer the whole 11 s wake window, so the tail may stall).
+        assert metrics.response_histogram.quantile(0.8) < 0.1
+
+    def test_mode_returns_to_logging(self, sim):
+        controller = build(sim)
+        trace = make_trace(
+            [(0.05 * i, "w", (i % 30) * 64 * KB, 64 * KB) for i in range(60)]
+        )
+        run_trace(controller, trace)
+        assert controller._mode is _Mode.LOGGING
+
+
+class TestSegmentHitLogic:
+    def test_partially_covered_segment_is_miss(self, sim):
+        """A read spanning a cached unit AND a cold unit must miss."""
+        controller = build(sim)
+        trace = make_trace(
+            [
+                (0.0, "w", 64 * KB, 64 * KB),  # unit 1 logged (hit-able)
+                # Read covering units 1 and 2 of the same pair: unit 2
+                # (offset 192K maps to pair 1 row 1) is cold.
+                (5.0, "r", 64 * KB, 64 * KB),
+                (6.0, "r", 192 * KB, 64 * KB),
+            ]
+        )
+        metrics = run_trace_base(controller, trace, drain=False)
+        assert metrics.read_hits == 1
+        assert metrics.read_misses == 1
+
+    def test_duty_pair_counts_as_hit_without_cache(self, sim):
+        controller = build(sim, read_cache=False)
+        metrics = run_trace_base(
+            controller,
+            make_trace([(0.0, "r", 0, 64 * KB)]),
+            drain=False,
+        )
+        assert metrics.read_hits == 1
+
+
+class TestWriteFallback:
+    def test_oversized_write_goes_in_place(self, sim):
+        """A write larger than the whole log region falls back in place."""
+        controller = build(sim, free_space_bytes=512 * KB)
+        metrics = run_trace(
+            controller, make_trace([(0.0, "w", 0, 1 * MB)])
+        )
+        assert metrics.requests == 1
+        controller.assert_consistent()
+        # Both home disks of each touched pair received in-place writes.
+        assert controller.primaries[0].foreground_ops > 0
+        assert controller.mirrors[0].foreground_ops > 0

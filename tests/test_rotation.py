@@ -1,0 +1,75 @@
+"""Unit tests for the logger rotation policy."""
+
+import pytest
+
+from repro.core.rotation import RotationPolicy
+
+
+def make_policy(occupancies, threshold=0.8):
+    return RotationPolicy(
+        len(occupancies), threshold, lambda i: occupancies[i]
+    )
+
+
+class TestNextLogger:
+    def test_round_robin(self):
+        occ = [0.9, 0.0, 0.0, 0.0]
+        policy = make_policy(occ)
+        assert policy.next_logger(0) == 1
+
+    def test_skips_full_candidates(self):
+        occ = [0.9, 0.95, 0.0, 0.0]
+        policy = make_policy(occ)
+        assert policy.next_logger(0) == 2
+
+    def test_wraps_around(self):
+        occ = [0.1, 0.9, 0.9, 0.9]
+        policy = make_policy(occ)
+        assert policy.next_logger(2) == 0
+
+    def test_none_when_all_full(self):
+        occ = [0.9, 0.9, 0.9]
+        policy = make_policy(occ)
+        assert policy.next_logger(0) is None
+
+    def test_excluded_candidates_skipped(self):
+        occ = [0.9, 0.0, 0.0]
+        policy = make_policy(occ)
+        assert policy.next_logger(0, excluded=[1]) == 2
+
+    def test_exclusion_can_exhaust(self):
+        occ = [0.9, 0.0, 0.0]
+        policy = make_policy(occ)
+        assert policy.next_logger(0, excluded=[1, 2]) is None
+
+    def test_threshold_boundary(self):
+        occ = [0.9, 0.8]
+        policy = make_policy(occ, threshold=0.8)
+        # occupancy == threshold is NOT eligible
+        assert policy.next_logger(0) is None
+
+    def test_rotation_counter(self):
+        occ = [0.9, 0.0]
+        policy = make_policy(occ)
+        policy.next_logger(0)
+        policy.next_logger(0)
+        assert policy.rotations == 2
+
+    def test_peek_does_not_count(self):
+        occ = [0.9, 0.0]
+        policy = make_policy(occ)
+        assert policy.peek_next(0) == 1
+        assert policy.rotations == 0
+
+    def test_current_out_of_range(self):
+        policy = make_policy([0.0, 0.0])
+        with pytest.raises(ValueError):
+            policy.next_logger(5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RotationPolicy(1, 0.8, lambda i: 0.0)
+        with pytest.raises(ValueError):
+            RotationPolicy(3, 0.0, lambda i: 0.0)
+        with pytest.raises(ValueError):
+            RotationPolicy(3, 1.5, lambda i: 0.0)

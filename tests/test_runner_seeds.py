@@ -1,0 +1,91 @@
+"""Tests for seed-sweep utilities and the new extension experiments."""
+
+import pytest
+
+from repro.disk.power import PowerState
+from repro.experiments import clear_cache, get_experiment
+from repro.experiments.runner import (
+    run_scheme_set_seeds,
+    summarize_seeds,
+)
+
+
+class TestSeedSweep:
+    def test_runs_every_seed_and_scheme(self):
+        clear_cache()
+        out = run_scheme_set_seeds(
+            "rsrch_2", ("raid10", "rolo-p"), seeds=(1, 2), scale=0.02,
+            n_pairs=2,
+        )
+        assert set(out) == {"raid10", "rolo-p"}
+        assert len(out["raid10"]) == 2
+
+    def test_different_seeds_differ(self):
+        clear_cache()
+        out = run_scheme_set_seeds(
+            "rsrch_2", ("raid10",), seeds=(1, 2), scale=0.02, n_pairs=2
+        )
+        a, b = out["raid10"]
+        assert a.total_energy_j != b.total_energy_j
+
+    def test_summarize_math(self):
+        class Fake:
+            def __init__(self, rt, energy):
+                self.mean_response_time_ms = rt
+                self.total_energy_j = energy
+                self.mean_power_w = energy / 10.0
+                self.spin_cycle_count = 4
+
+        summary = summarize_seeds([Fake(2.0, 1000.0), Fake(4.0, 3000.0)])
+        mean, std = summary["response_time_ms"]
+        assert mean == pytest.approx(3.0)
+        assert std == pytest.approx(1.0)
+        mean_e, std_e = summary["energy_kj"]
+        assert mean_e == pytest.approx(2.0)
+        assert std_e == pytest.approx(1.0)
+        assert summary["spin_cycles"] == (4.0, 0.0)
+
+
+class TestExtensionExperiments:
+    def test_variance_experiment_registered(self):
+        exp = get_experiment("ext-variance")
+        assert "Fig. 10" in exp.paper_ref
+
+    def test_variance_mini_run(self):
+        clear_cache()
+        report = get_experiment("ext-variance").run(
+            scale=0.01,
+            n_pairs=2,
+            workloads=("rsrch_2",),
+            seeds=(1, 2),
+        )
+        table = report.tables[0]
+        assert len(table.rows) == 5
+        raid10 = [r for r in table.rows if r[1] == "raid10"][0]
+        # RAID10 saves nothing over itself, for every seed.
+        assert raid10[6] == 0 and raid10[7] == 0
+
+    def test_breakdown_mini_run(self):
+        clear_cache()
+        report = get_experiment("ext-breakdown").run(
+            scale=0.01, n_pairs=2, workloads=("rsrch_2",)
+        )
+        table = report.tables[0]
+        rows = {row[1]: row for row in table.rows}
+        # RAID10 never sleeps or spins: standby and spin shares are zero,
+        # and active+idle is everything.
+        raid10 = rows["raid10"]
+        assert raid10[4] == 0 and raid10[5] == 0
+        assert raid10[2] + raid10[3] == pytest.approx(1.0)
+        # RoLo-P banks a standby share.
+        assert rows["rolo-p"][4] > 0
+
+    def test_breakdown_shares_sum_to_one(self):
+        clear_cache()
+        report = get_experiment("ext-breakdown").run(
+            scale=0.01, n_pairs=2, workloads=("rsrch_2",)
+        )
+        for row in report.tables[0].rows:
+            assert row[2] + row[3] + row[4] + row[5] == pytest.approx(
+                1.0, abs=1e-6
+            )

@@ -1,0 +1,180 @@
+"""Unit tests for the statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StreamingStat, TimeWeightedStat
+
+
+class TestStreamingStat:
+    def test_empty(self):
+        s = StreamingStat()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.min == 0.0
+        assert s.max == 0.0
+        assert s.total == 0.0
+
+    def test_single_value(self):
+        s = StreamingStat()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.min == 5.0
+        assert s.max == 5.0
+        assert s.variance == 0.0
+
+    def test_mean_and_total(self):
+        s = StreamingStat()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            s.add(v)
+        assert s.mean == pytest.approx(2.5)
+        assert s.total == pytest.approx(10.0)
+
+    def test_variance_matches_numpy_definition(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        s = StreamingStat()
+        for v in values:
+            s.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert s.variance == pytest.approx(var)
+        assert s.stdev == pytest.approx(math.sqrt(var))
+
+    def test_min_max_track_extremes(self):
+        s = StreamingStat()
+        for v in [3.0, -1.0, 10.0, 2.0]:
+            s.add(v)
+        assert s.min == -1.0
+        assert s.max == 10.0
+
+    def test_merge_equals_combined_stream(self):
+        a, b, combined = StreamingStat(), StreamingStat(), StreamingStat()
+        for v in [1.0, 2.0, 3.0]:
+            a.add(v)
+            combined.add(v)
+        for v in [10.0, 20.0]:
+            b.add(v)
+            combined.add(v)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+        assert a.min == combined.min
+        assert a.max == combined.max
+
+    def test_merge_into_empty(self):
+        a, b = StreamingStat(), StreamingStat()
+        b.add(4.0)
+        a.merge(b)
+        assert a.count == 1
+        assert a.mean == 4.0
+
+    def test_merge_empty_is_noop(self):
+        a, b = StreamingStat(), StreamingStat()
+        a.add(4.0)
+        a.merge(b)
+        assert a.count == 1
+
+
+class TestTimeWeightedStat:
+    def test_integral_of_constant(self):
+        t = TimeWeightedStat(level=3.0)
+        t.close(10.0)
+        assert t.integral == pytest.approx(30.0)
+
+    def test_piecewise_levels(self):
+        t = TimeWeightedStat()
+        t.update(2.0, 5.0)   # level 0 for [0,2)
+        t.update(4.0, 1.0)   # level 5 for [2,4)
+        t.close(10.0)        # level 1 for [4,10)
+        assert t.integral == pytest.approx(0 * 2 + 5 * 2 + 1 * 6)
+
+    def test_mean(self):
+        t = TimeWeightedStat()
+        t.update(5.0, 10.0)
+        assert t.mean(10.0) == pytest.approx((0 * 5 + 10 * 5) / 10)
+
+    def test_time_backwards_rejected(self):
+        t = TimeWeightedStat()
+        t.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            t.update(4.0, 2.0)
+
+    def test_mean_with_zero_elapsed(self):
+        t = TimeWeightedStat()
+        assert t.mean(0.0) == 0.0
+
+
+class TestCounter:
+    def test_default_zero(self):
+        c = Counter()
+        assert c["missing"] == 0
+
+    def test_incr(self):
+        c = Counter()
+        c.incr("a")
+        c.incr("a", 2)
+        assert c["a"] == 3
+        assert c.total == 3
+
+    def test_as_dict_is_copy(self):
+        c = Counter()
+        c.incr("a")
+        d = c.as_dict()
+        d["a"] = 99
+        assert c["a"] == 1
+
+
+class TestHistogram:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_bucket_assignment(self):
+        h = Histogram([1.0, 10.0, 100.0])
+        for v in [0.5, 1.0]:
+            h.add(v)
+        h.add(5.0)
+        h.add(1000.0)
+        assert h.counts == [2, 1, 0, 1]
+        assert h.count == 4
+
+    def test_exponential_constructor(self):
+        h = Histogram.exponential(1.0, 2.0, 4)
+        assert h.bounds == [1.0, 2.0, 4.0, 8.0]
+
+    def test_quantile(self):
+        h = Histogram([1.0, 2.0, 3.0, 4.0])
+        for v in [0.5] * 50 + [1.5] * 40 + [2.5] * 10:
+            h.add(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.9) == 2.0
+        assert h.quantile(0.95) == 3.0
+        assert h.quantile(1.0) == 3.0
+
+    def test_quantile_overflow_is_inf(self):
+        h = Histogram([1.0])
+        h.add(5.0)
+        assert h.quantile(0.9) == math.inf
+
+    def test_quantile_validation(self):
+        h = Histogram([1.0])
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_empty(self):
+        h = Histogram([1.0])
+        assert h.quantile(0.5) == 0.0
+
+    def test_nonzero_buckets(self):
+        h = Histogram([1.0, 2.0])
+        h.add(0.5)
+        h.add(9.0)
+        assert h.nonzero_buckets() == [(1.0, 1), (math.inf, 1)]

@@ -1,0 +1,139 @@
+"""Tests for the SVG figure renderer.
+
+No rasterizer is available in the offline environment, so in place of a
+visual inspection these tests check the geometry structurally: marks stay
+inside the plot area, axes are monotone, palette order is fixed, and the
+legend rules (always for >= 2 series, direct labels for <= 4) hold.
+"""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.report import Report, Series
+from repro.experiments.svg import (
+    HEIGHT,
+    MARGIN_B,
+    MARGIN_L,
+    MARGIN_R,
+    MARGIN_T,
+    PALETTE,
+    WIDTH,
+    render_chart_svg,
+    report_to_svgs,
+)
+
+
+def series(name, points, x_label="x", y_label="y"):
+    s = Series(name, x_label, y_label)
+    for x, y in points:
+        s.add(x, y)
+    return s
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestRenderChart:
+    def test_valid_xml_with_surface(self):
+        svg = render_chart_svg(
+            [series("a", [(0, 1), (1, 2)])], "T"
+        )
+        root = parse(svg)
+        assert root.tag == f"{NS}svg"
+        rect = root.find(f"{NS}rect")
+        assert rect.get("fill") == "#fcfcfb"
+
+    def test_marks_stay_inside_plot_area(self):
+        svg = render_chart_svg(
+            [
+                series("a", [(0, 0), (5, 100), (10, 50)]),
+                series("b", [(0, 80), (10, -3)]),
+            ],
+            "T",
+        )
+        for cx, cy in re.findall(r'cx="([\d.]+)" cy="([\d.]+)"', svg):
+            assert MARGIN_L - 1 <= float(cx) <= WIDTH - MARGIN_R + 1
+            assert MARGIN_T - 1 <= float(cy) <= HEIGHT - MARGIN_B + 1
+
+    def test_palette_assigned_in_fixed_order(self):
+        svg = render_chart_svg(
+            [series(f"s{i}", [(0, i), (1, i)]) for i in range(5)], "T"
+        )
+        strokes = re.findall(r'polyline[^>]*stroke="(#\w+)"', svg)
+        assert strokes == PALETTE[:5]
+
+    def test_legend_present_for_two_series(self):
+        svg = render_chart_svg(
+            [series("first", [(0, 1)]), series("second", [(0, 2)])], "T"
+        )
+        assert "first" in svg and "second" in svg
+        # legend swatches
+        assert svg.count('rx="2"') == 2
+
+    def test_no_legend_box_for_single_series(self):
+        svg = render_chart_svg([series("only", [(0, 1), (1, 2)])], "T")
+        assert svg.count('rx="2"') == 0
+
+    def test_direct_labels_only_up_to_four_series(self):
+        many = [series(f"s{i}", [(0, i), (1, i)]) for i in range(6)]
+        svg = render_chart_svg(many, "T")
+        # 6 legend entries but no end labels: each name appears once.
+        for i in range(6):
+            assert svg.count(f">s{i}<") == 1
+        few = [series(f"s{i}", [(0, i), (1, i)]) for i in range(3)]
+        svg = render_chart_svg(few, "T")
+        for i in range(3):
+            assert svg.count(f">s{i}<") == 2  # legend + direct label
+
+    def test_categorical_x_axis(self):
+        svg = render_chart_svg(
+            [series("a", [("src2_2", 1.0), ("proj_0", 2.0)])], "T"
+        )
+        assert "src2_2" in svg and "proj_0" in svg
+
+    def test_too_many_series_rejected(self):
+        many = [series(f"s{i}", [(0, i)]) for i in range(9)]
+        with pytest.raises(ValueError):
+            render_chart_svg(many, "T")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart_svg([], "T")
+
+    def test_title_escaped(self):
+        svg = render_chart_svg(
+            [series("a<b", [(0, 1)])], "x < y & z"
+        )
+        assert "x &lt; y &amp; z" in svg
+        parse(svg)  # must stay well-formed
+
+
+class TestReportToSvgs:
+    def test_groups_by_axis_pair(self, tmp_path):
+        report = Report("exp", "Title")
+        report.add_series(series("a", [(1, 2)], "days", "years"))
+        report.add_series(series("b", [(1, 3)], "days", "years"))
+        report.add_series(series("c", [(1, 4)], "iops", "ratio"))
+        paths = report_to_svgs(report, tmp_path)
+        assert len(paths) == 2
+        for path in paths:
+            assert path.exists()
+            parse(path.read_text())
+
+    def test_empty_series_skipped(self, tmp_path):
+        report = Report("exp", "Title")
+        report.add_series(Series("empty", "x", "y"))
+        assert report_to_svgs(report, tmp_path) == []
+
+    def test_overflow_splits_into_chunks(self, tmp_path):
+        report = Report("exp", "Title")
+        for i in range(10):
+            report.add_series(series(f"s{i}", [(0, i), (1, i)]))
+        paths = report_to_svgs(report, tmp_path)
+        assert len(paths) == 2  # 8 + 2 split across two charts
