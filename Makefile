@@ -1,4 +1,4 @@
-.PHONY: install test bench experiments figures clean
+.PHONY: install test bench bench-quick experiments figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,6 +8,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Just the hot-path kernels: engine, disk, layout, log space.
+bench-quick:
+	pytest benchmarks/test_bench_micro.py --benchmark-only
 
 # Regenerate every paper artifact (slow: ~20 minutes at default scales).
 experiments:

@@ -12,6 +12,7 @@ from repro.disk.disk import Disk, DiskOp, OpKind
 from repro.disk.models import ULTRASTAR_36Z15
 from repro.raid.layout import Raid10Layout
 from repro.sim import Simulator
+from repro.sim.engine import Timer
 
 KB = 1024
 MB = 1024 * KB
@@ -35,6 +36,42 @@ def test_engine_event_throughput(benchmark):
         return count
 
     assert benchmark(run) == 10_000
+
+
+def test_engine_timer_event_throughput(benchmark):
+    """Events/sec through ``Simulator.run`` with ~1e5 timer-style events.
+
+    Mirrors the idle-detection pattern the controllers lean on: every
+    event re-arms a :class:`Timer`, so the heap carries a cancelled entry
+    per live one and the run loop's lazy-deletion skip path is exercised
+    alongside plain dispatch.
+    """
+
+    N = 100_000
+
+    def run():
+        sim = Simulator()
+        count = 0
+        fired = 0
+
+        def on_expire():
+            nonlocal fired
+            fired += 1
+
+        timer = Timer(sim, 1.0, on_expire)
+
+        def tick():
+            nonlocal count
+            count += 1
+            timer.arm()  # cancels the previous expiry, schedules a new one
+            if count < N:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count + fired
+
+    assert benchmark(run) == N + 1  # only the last armed timer fires
 
 
 def test_disk_random_io_throughput(benchmark):

@@ -3,20 +3,30 @@
 Subcommands::
 
     rolo list                         # available experiments + workloads
-    rolo run fig10 [--scale 0.05]     # reproduce one paper artifact
+    rolo run fig10 [--jobs 8]         # reproduce one paper artifact
     rolo run all                      # everything (slow)
+    rolo cache info                   # persistent result-cache status
+    rolo cache clear                  # drop every cached simulation
     rolo trace-info src2_2            # characterize a workload replica
     rolo mttdl --mttr-days 3          # reliability numbers
     rolo simulate rolo-p src2_2       # one scheme x workload run
+
+``rolo run`` fans uncached simulation cells out over a process pool
+(``--jobs N``, default: all cores; ``--jobs 1`` is the exact serial path)
+and persists finished cells under ``.rolo-cache/`` (``--no-cache`` /
+``--cache-dir`` control this), so repeated invocations are near-instant.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
-from repro.experiments import get_experiment, list_experiments
+from repro.experiments import cache as result_cache
+from repro.experiments import get_experiment, list_experiments, runner
+from repro.experiments.parallel import CellExecution, default_jobs, execute_cells
 from repro.experiments.runner import simulate_workload
 from repro.reliability import mttdl_closed_form, mttdl_ctmc
 from repro.reliability.mttdl import HOURS_PER_DAY, HOURS_PER_YEAR
@@ -38,6 +48,26 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    previous_cache = result_cache.active_cache()
+    result_cache.configure(
+        directory=args.cache_dir, enabled=not args.no_cache
+    )
+    try:
+        return _run_experiments(args)
+    finally:
+        # Restore so embedded callers (tests, notebooks) keep their own
+        # cache configuration across CLI invocations.
+        result_cache.configure(
+            directory=previous_cache.directory if previous_cache else None,
+            enabled=previous_cache is not None,
+        )
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        print(f"invalid --jobs {jobs}", file=sys.stderr)
+        return 2
     if args.experiment == "all":
         ids = [e.experiment_id for e in list_experiments()]
     else:
@@ -49,6 +79,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             kwargs["scale"] = args.scale
         if args.pairs is not None:
             kwargs["n_pairs"] = args.pairs
+        started = time.perf_counter()
+        computed_before = runner.run_stats()["computed"]
+        # Pre-warm the caches: enumerate the experiment's simulation cells
+        # and compute the misses on the process pool.  Experiments without
+        # an enumerator (or with jobs=1) simply run serially below.
+        cells = experiment.cells(seed=args.seed, **kwargs)
+        stats = (
+            execute_cells(cells, jobs=jobs)
+            if cells
+            else CellExecution(jobs=jobs)
+        )
         try:
             report = experiment.run(seed=args.seed, **kwargs)
         except TypeError:
@@ -56,8 +97,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             report = experiment.run(
                 **{k: v for k, v in kwargs.items() if k == "scale"}
             )
+        wall = time.perf_counter() - started
+        computed = stats.computed + (
+            runner.run_stats()["computed"] - computed_before
+        )
         text = report.to_text()
         print(text)
+        print()
+        print(
+            f"[cells] {experiment_id}: total={stats.unique} "
+            f"cached={stats.cached} computed={computed} "
+            f"jobs={jobs} wall={wall:.2f}s"
+        )
         print()
         if args.out:
             with open(args.out, "a") as fh:
@@ -67,6 +118,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             for path in report_to_svgs(report, args.svg_dir):
                 print(f"wrote {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = result_cache.ResultCache(
+        args.cache_dir or result_cache.DEFAULT_CACHE_DIR
+    )
+    if args.cache_command == "info":
+        info = store.info()
+        print(f"directory:       {info['directory']}")
+        print(f"entries:         {info['entries']}")
+        print(f"stale entries:   {info['stale_entries']}")
+        print(f"total bytes:     {info['total_bytes']}")
+        print(f"schema version:  {info['schema_version']}")
+        print(f"package version: {info['package_version']}")
+    else:  # clear
+        removed = store.clear()
+        print(f"removed {removed} cache entries from {store.directory}")
     return 0
 
 
@@ -136,7 +205,35 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--svg-dir", help="also render the report's series to SVG charts"
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulation cells "
+        "(default: all cores; 1 = serial)",
+    )
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache for this run",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result-cache directory (default: .rolo-cache)",
+    )
     run_p.set_defaults(fn=_cmd_run)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache_p.add_argument("cache_command", choices=("info", "clear"))
+    cache_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result-cache directory (default: .rolo-cache)",
+    )
+    cache_p.set_defaults(fn=_cmd_cache)
 
     info_p = sub.add_parser("trace-info", help="characterize a workload")
     info_p.add_argument("workload")

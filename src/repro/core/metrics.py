@@ -127,6 +127,93 @@ class RunMetrics:
             self.state_time_by_role[role] = role_states
             self.total_energy_j += role_energy
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable dump of every reported value.
+
+        The dump is exact (floats round-trip bit-for-bit through Python's
+        JSON encoder), so cached results are indistinguishable from freshly
+        computed ones — the property the parallel runner's determinism
+        guarantee rests on.
+        """
+        return {
+            "response_time": self.response_time.to_dict(),
+            "read_response_time": self.read_response_time.to_dict(),
+            "write_response_time": self.write_response_time.to_dict(),
+            "response_histogram": self.response_histogram.to_dict(),
+            "requests": self.requests,
+            "reads": self.reads,
+            "writes": self.writes,
+            "duration_s": self.duration_s,
+            "total_energy_j": self.total_energy_j,
+            "spin_up_count": self.spin_up_count,
+            "spin_down_count": self.spin_down_count,
+            "energy_by_role": dict(self.energy_by_role),
+            "state_time_by_role": {
+                role: {state.value: t for state, t in states.items()}
+                for role, states in self.state_time_by_role.items()
+            },
+            "energy_by_state": {
+                state.value: e for state, e in self.energy_by_state.items()
+            },
+            "rotations": self.rotations,
+            "destage_cycles": self.destage_cycles,
+            "logged_bytes": self.logged_bytes,
+            "destaged_bytes": self.destaged_bytes,
+            "read_hits": self.read_hits,
+            "read_misses": self.read_misses,
+            "cycles": [dataclasses.asdict(c) for c in self.cycles],
+            "deactivations": self.deactivations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunMetrics":
+        """Reconstruct a finalized metrics object from :meth:`to_dict`."""
+        metrics = cls()
+        metrics.response_time = StreamingStat.from_dict(
+            data["response_time"]
+        )
+        metrics.read_response_time = StreamingStat.from_dict(
+            data["read_response_time"]
+        )
+        metrics.write_response_time = StreamingStat.from_dict(
+            data["write_response_time"]
+        )
+        metrics.response_histogram = Histogram.from_dict(
+            data["response_histogram"]
+        )
+        for field in (
+            "requests",
+            "reads",
+            "writes",
+            "spin_up_count",
+            "spin_down_count",
+            "rotations",
+            "destage_cycles",
+            "logged_bytes",
+            "destaged_bytes",
+            "read_hits",
+            "read_misses",
+            "deactivations",
+        ):
+            setattr(metrics, field, int(data[field]))
+        for field in ("duration_s", "total_energy_j"):
+            setattr(metrics, field, float(data[field]))
+        metrics.energy_by_role = {
+            role: float(e) for role, e in data["energy_by_role"].items()
+        }
+        metrics.state_time_by_role = {
+            role: {
+                PowerState(state): float(t) for state, t in states.items()
+            }
+            for role, states in data["state_time_by_role"].items()
+        }
+        metrics.energy_by_state = {
+            PowerState(state): float(e)
+            for state, e in data["energy_by_state"].items()
+        }
+        metrics.cycles = [CycleWindow(**c) for c in data["cycles"]]
+        return metrics
+
     def snapshot(self) -> "RunMetrics":
         """A frozen copy of the current values.
 

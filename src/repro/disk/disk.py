@@ -237,14 +237,15 @@ class Disk:
                 continue
             if self.scheduler is Scheduler.FCFS or len(queue) == 1:
                 return queue.popleft()
-            head_cylinder = self.mechanics.cylinder_of(self._head_sector)
-            best_index = min(
-                range(len(queue)),
-                key=lambda i: abs(
-                    self.mechanics.cylinder_of(queue[i].sector)
-                    - head_cylinder
-                ),
-            )
+            cyl_of = self.mechanics.cylinder_of
+            head_cylinder = cyl_of(self._head_sector)
+            best_index = 0
+            best_dist = abs(cyl_of(queue[0].sector) - head_cylinder)
+            for i in range(1, len(queue)):
+                dist = abs(cyl_of(queue[i].sector) - head_cylinder)
+                if dist < best_dist:
+                    best_dist = dist
+                    best_index = i
             best = queue[best_index]
             del queue[best_index]
             return best
@@ -287,7 +288,7 @@ class Disk:
             self.background_ops += 1
         if op.on_complete is not None:
             op.on_complete(op)
-        if self.queue_depth:
+        if self._queues[0] or self._queues[1]:
             self._try_start()
         else:
             if self.state is PowerState.ACTIVE:

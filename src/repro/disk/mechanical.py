@@ -26,6 +26,14 @@ class MechanicalModel:
         self._sectors_per_cylinder = max(
             1, spec.capacity_sectors // spec.cylinders
         )
+        # service_time() runs once per disk op on every simulated disk;
+        # flatten the spec properties it needs into plain attributes so the
+        # hot path is pure local arithmetic.
+        self._max_cylinder = spec.cylinders - 1
+        self._rot_latency = spec.avg_rotational_latency
+        self._transfer_rate = spec.sustained_transfer_rate
+        self._t2t_seek = spec.track_to_track_seek_time
+        self._full_seek = spec.full_stroke_seek_time
         # Calibrate seek(d) = a + b * sqrt(d) so that the mean over a
         # uniformly random pair of cylinders equals avg_seek_time and the
         # full stroke equals full_stroke_seek_time.  For X, Y uniform on
@@ -72,11 +80,28 @@ class MechanicalModel:
         transfer time only — this is what makes log appends cheap.  Any
         other op pays seek + expected rotational latency + transfer.
         """
-        transfer = self.spec.transfer_time(nbytes)
+        transfer = nbytes / self._transfer_rate
         if head_sector == start_sector:
             return transfer
-        seek = self.seek_time(head_sector, start_sector)
-        return seek + self.spec.avg_rotational_latency + transfer
+        spc = self._sectors_per_cylinder
+        cmax = self._max_cylinder
+        from_cyl = head_sector // spc
+        if from_cyl > cmax:
+            from_cyl = cmax
+        to_cyl = start_sector // spc
+        if to_cyl > cmax:
+            to_cyl = cmax
+        distance = from_cyl - to_cyl
+        if distance == 0:
+            return self._rot_latency + transfer
+        if distance < 0:
+            distance = -distance
+        raw = self._seek_a + self._seek_b * math.sqrt(distance)
+        if raw < self._t2t_seek:
+            raw = self._t2t_seek
+        elif raw > self._full_seek:
+            raw = self._full_seek
+        return raw + self._rot_latency + transfer
 
     @staticmethod
     def end_sector(start_sector: int, nbytes: int) -> int:

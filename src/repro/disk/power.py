@@ -66,6 +66,9 @@ class EnergyAccountant:
         self, model: PowerModel, start_time: float, initial: PowerState
     ) -> None:
         self._model = model
+        # Direct state->watts mapping; transition() runs on every op
+        # start/completion, so it must not pay a method call per sample.
+        self._draw = model._draw
         self._state = initial
         self._last_time = start_time
         self._start_time = start_time
@@ -82,11 +85,13 @@ class EnergyAccountant:
 
     def transition(self, now: float, new_state: PowerState) -> None:
         """Account time spent in the old state and switch to ``new_state``."""
-        if now < self._last_time:
+        last = self._last_time
+        if now < last:
             raise ValueError("time went backwards in energy accounting")
-        elapsed = now - self._last_time
-        self.energy_joules += self._model.draw(self._state) * elapsed
-        self.state_durations[self._state] += elapsed
+        state = self._state
+        elapsed = now - last
+        self.energy_joules += self._draw[state] * elapsed
+        self.state_durations[state] += elapsed
         self._last_time = now
         if new_state is PowerState.SPINNING_UP:
             self.spin_up_count += 1

@@ -14,15 +14,29 @@ from typing import Iterable, Optional
 from repro.disk.power import PowerState
 from repro.experiments.registry import register
 from repro.experiments.report import Report, Table
-from repro.experiments.runner import run_scheme_set
+from repro.experiments.runner import run_scheme_set, workload_cell
 
 SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+
+
+def cells(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    workloads: Iterable[str] = ("src2_2", "proj_0"),
+    seed: int = 42,
+):
+    return [
+        workload_cell(s, w, scale=scale, n_pairs=n_pairs, seed=seed)
+        for w in workloads
+        for s in SCHEMES
+    ]
 
 
 @register(
     "ext-breakdown",
     "Per-power-state energy decomposition (extension)",
     "explains Fig. 10(a)",
+    cells=cells,
 )
 def run(
     scale: Optional[float] = None,

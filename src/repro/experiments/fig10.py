@@ -7,16 +7,30 @@ from typing import Iterable, Optional
 
 from repro.experiments.registry import register
 from repro.experiments.report import Report, Series, Table
-from repro.experiments.runner import run_scheme_set
+from repro.experiments.runner import run_scheme_set, workload_cell
 
 SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
 WORKLOADS = ("proj_0", "src2_2")
+
+
+def cells(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+):
+    return [
+        workload_cell(s, w, scale=scale, n_pairs=n_pairs, seed=seed)
+        for w in workloads
+        for s in SCHEMES
+    ]
 
 
 @register(
     "fig10",
     "Energy and mean response time normalized to RAID10",
     "Figure 10 (a-b), Table IV",
+    cells=cells,
 )
 def run(
     scale: Optional[float] = None,

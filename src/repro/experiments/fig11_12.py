@@ -11,11 +11,25 @@ from typing import Iterable, Optional
 
 from repro.experiments.registry import register
 from repro.experiments.report import Report, Series, Table
-from repro.experiments.runner import run_scheme_set
+from repro.experiments.runner import run_scheme_set, workload_cell
 
 SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
 WORKLOADS = ("src2_2", "proj_0")
 PAIR_COUNTS = (10, 15, 20)
+
+
+def cells(
+    scale: Optional[float] = None,
+    pair_counts: Iterable[int] = PAIR_COUNTS,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+):
+    return [
+        workload_cell(s, w, scale=scale, n_pairs=n_pairs, seed=seed)
+        for w in workloads
+        for n_pairs in pair_counts
+        for s in SCHEMES
+    ]
 
 
 def _run_sweep(
@@ -35,6 +49,7 @@ def _run_sweep(
     "fig11",
     "Energy saved over RAID10 as a function of the number of disks",
     "Figure 11 (a-b)",
+    cells=cells,
 )
 def run_fig11(
     scale: Optional[float] = None,
@@ -73,6 +88,7 @@ def run_fig11(
     "fig12",
     "Average response time as a function of the number of disks",
     "Figure 12 (a-b)",
+    cells=cells,
 )
 def run_fig12(
     scale: Optional[float] = None,

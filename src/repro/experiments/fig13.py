@@ -14,6 +14,7 @@ from repro.experiments.registry import register
 from repro.experiments.report import Report, Series, Table
 from repro.experiments.runner import (
     simulate_workload,
+    workload_cell,
     workload_scale,
 )
 
@@ -24,10 +25,42 @@ WORKLOADS = ("src2_2", "proj_0")
 FREE_SPACE_GB = (8, 6, 4)
 
 
+def cells(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    free_space_gb: Iterable[float] = FREE_SPACE_GB,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+):
+    out = []
+    for workload in workloads:
+        effective = workload_scale(workload, scale)
+        out.append(
+            workload_cell(
+                "graid", workload, scale=scale, n_pairs=n_pairs, seed=seed
+            )
+        )
+        for gb in free_space_gb:
+            free_bytes = int(gb * GB * effective)
+            out.extend(
+                workload_cell(
+                    scheme,
+                    workload,
+                    scale=scale,
+                    n_pairs=n_pairs,
+                    seed=seed,
+                    free_space_bytes=free_bytes,
+                )
+                for scheme in ROLO_SCHEMES
+            )
+    return out
+
+
 @register(
     "fig13",
     "Energy saved over GRAID vs per-disk free storage space",
     "Figure 13 (a-b)",
+    cells=cells,
 )
 def run(
     scale: Optional[float] = None,

@@ -12,16 +12,30 @@ from typing import Iterable, Optional
 
 from repro.experiments.registry import register
 from repro.experiments.report import Report, Table
-from repro.experiments.runner import run_scheme_set
+from repro.experiments.runner import run_scheme_set, workload_cell
 
 SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
 WORKLOADS = ("mds_0", "hm_1", "rsrch_2", "wdev_0", "web_1")
+
+
+def cells(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+):
+    return [
+        workload_cell(s, w, scale=scale, n_pairs=n_pairs, seed=seed)
+        for w in workloads
+        for s in SCHEMES
+    ]
 
 
 @register(
     "fig14",
     "Energy and response time under non-write-intensive traces",
     "Figure 14 (a-b)",
+    cells=cells,
 )
 def run(
     scale: Optional[float] = None,

@@ -21,7 +21,7 @@ from typing import Dict, Iterable
 from repro.core import ArrayConfig
 from repro.experiments.registry import register
 from repro.experiments.report import Report, Series, Table
-from repro.experiments.runner import simulate_synthetic
+from repro.experiments.runner import simulate_synthetic, synthetic_cell
 from repro.traces.synthetic import SyntheticTraceConfig
 
 KB = 1024
@@ -48,10 +48,53 @@ def _workload(
     )
 
 
+def _cell_setup(
+    scale: float,
+    iops: float,
+    capacity_gb: float,
+    target_cycles: int,
+    seed: int,
+):
+    """The (workload, config) one Fig. 2 grid point simulates."""
+    capacity = int(capacity_gb * GB * scale)
+    config = ArrayConfig(
+        n_pairs=10,
+        graid_log_capacity_bytes=max(capacity, 64 * MB // 8),
+        free_space_bytes=max(capacity // 2, 32 * MB // 8),
+    )
+    fill_rate = iops * 64 * KB
+    cycle_estimate = (
+        config.destage_threshold
+        * config.graid_log_capacity_bytes
+        / fill_rate
+    )
+    duration = max(60.0, target_cycles * cycle_estimate * 1.2)
+    footprint = max(64 * MB, int(config.graid_log_capacity_bytes * 1.5))
+    return _workload(iops, duration, footprint, seed), config
+
+
+def cells(
+    scale: float = 0.05,
+    iops_levels: Iterable[float] = IOPS_LEVELS,
+    capacities_gb: Iterable[float] = LOGGER_CAPACITIES_GB,
+    target_cycles: int = 3,
+    seed: int = 42,
+):
+    return [
+        synthetic_cell(
+            "graid",
+            *_cell_setup(scale, iops, capacity_gb, target_cycles, seed),
+        )
+        for iops in iops_levels
+        for capacity_gb in capacities_gb
+    ]
+
+
 @register(
     "fig2",
     "Impact of logger capacity on destaging interval/energy ratios",
     "Figure 2 (a-d)",
+    cells=cells,
 )
 def run(
     scale: float = 0.05,
@@ -97,23 +140,9 @@ def run(
         )
     for iops in iops_levels:
         for capacity_gb in capacities_gb:
-            capacity = int(capacity_gb * GB * scale)
-            config = ArrayConfig(
-                n_pairs=10,
-                graid_log_capacity_bytes=max(capacity, 64 * MB // 8),
-                free_space_bytes=max(capacity // 2, 32 * MB // 8),
+            workload, config = _cell_setup(
+                scale, iops, capacity_gb, target_cycles, seed
             )
-            fill_rate = iops * 64 * KB
-            cycle_estimate = (
-                config.destage_threshold
-                * config.graid_log_capacity_bytes
-                / fill_rate
-            )
-            duration = max(60.0, target_cycles * cycle_estimate * 1.2)
-            footprint = max(
-                64 * MB, int(config.graid_log_capacity_bytes * 1.5)
-            )
-            workload = _workload(iops, duration, footprint, seed)
             metrics = simulate_synthetic("graid", workload, config)
             complete = [c for c in metrics.cycles if c.complete]
             if not complete:

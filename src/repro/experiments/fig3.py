@@ -16,7 +16,7 @@ from repro.disk.power import PowerState
 from repro.experiments.fig2 import _workload
 from repro.experiments.registry import register
 from repro.experiments.report import Report, Series, Table
-from repro.experiments.runner import simulate_synthetic
+from repro.experiments.runner import simulate_synthetic, synthetic_cell
 
 KB = 1024
 MB = 1024 * KB
@@ -25,10 +25,36 @@ GB = 1024 * MB
 IOPS_LEVELS = (10, 50, 100, 200)
 
 
+def _array_config(scale: float) -> ArrayConfig:
+    capacity = max(int(16 * GB * scale), 64 * MB // 8)
+    return ArrayConfig(
+        n_pairs=10,
+        graid_log_capacity_bytes=capacity,
+        free_space_bytes=max(capacity // 2, 32 * MB // 8),
+    )
+
+
+def cells(
+    scale: float = 0.02,
+    iops_levels: Iterable[float] = IOPS_LEVELS,
+    duration_s: float = 1200.0,
+    seed: int = 42,
+):
+    config = _array_config(scale)
+    footprint = max(64 * MB, config.graid_log_capacity_bytes * 2)
+    return [
+        synthetic_cell(
+            "graid", _workload(iops, duration_s, footprint, seed), config
+        )
+        for iops in iops_levels
+    ]
+
+
 @register(
     "fig3",
     "IDLE vs ACTIVE/STANDBY time fractions under different I/O intensities",
     "Figure 3 (a-b)",
+    cells=cells,
 )
 def run(
     scale: float = 0.02,
@@ -56,16 +82,10 @@ def run(
     log_series = report.add_series(
         Series("log-idle-fraction", "iops", "fraction")
     )
-    capacity = max(int(16 * GB * scale), 64 * MB // 8)
-    config = ArrayConfig(
-        n_pairs=10,
-        graid_log_capacity_bytes=capacity,
-        free_space_bytes=max(capacity // 2, 32 * MB // 8),
-    )
+    config = _array_config(scale)
+    footprint = max(64 * MB, config.graid_log_capacity_bytes * 2)
     for iops in iops_levels:
-        workload = _workload(
-            iops, duration_s, max(64 * MB, capacity * 2), seed
-        )
+        workload = _workload(iops, duration_s, footprint, seed)
         metrics = simulate_synthetic("graid", workload, config)
         rows = {}
         for role in ("primary", "log"):

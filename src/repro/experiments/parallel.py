@@ -1,0 +1,106 @@
+"""Process-pool execution of experiment cells.
+
+The experiment matrix is the repo's dominant compute cost; this module
+fans its cells out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+Workers execute cells *outside* every cache layer and ship their metrics
+back as plain dicts (:meth:`RunMetrics.to_dict`); the parent installs the
+results into the in-memory memo and the persistent cache.  Because the
+dict round-trip is exact and each cell's simulation is single-threaded and
+seeded, parallel runs are bit-for-bit identical to serial ones.
+
+``jobs=1`` never touches the pool: cached/pending cells are only counted,
+and the experiment's own serial code path performs the computations —
+today's behavior, preserved exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.metrics import RunMetrics
+from repro.experiments import runner
+from repro.experiments.runner import Cell
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs`` is not given: every available core."""
+    return os.cpu_count() or 1
+
+
+@dataclasses.dataclass
+class CellExecution:
+    """Outcome summary of one :func:`execute_cells` invocation."""
+
+    total: int = 0
+    unique: int = 0
+    cached: int = 0
+    computed: int = 0
+    jobs: int = 1
+
+    def merged(self, other: "CellExecution") -> "CellExecution":
+        return CellExecution(
+            total=self.total + other.total,
+            unique=self.unique + other.unique,
+            cached=self.cached + other.cached,
+            computed=self.computed + other.computed,
+            jobs=max(self.jobs, other.jobs),
+        )
+
+
+def _compute_cell(cell: Cell) -> Dict[str, Any]:
+    """Worker entry point: run one cell, return its serialized metrics."""
+    return cell.execute().to_dict()
+
+
+def execute_cells(
+    cells: Iterable[Cell],
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CellExecution:
+    """Ensure every cell's result is cached, computing misses in parallel.
+
+    Duplicate cells (same canonical key) are computed once.  With
+    ``jobs=1`` nothing is computed here — the caller's serial path does it
+    — but the cached/pending census is still reported.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    cell_list = list(cells)
+    stats = CellExecution(total=len(cell_list), jobs=jobs)
+
+    unique: Dict[Tuple, Cell] = {}
+    for cell in cell_list:
+        unique.setdefault(cell.key(), cell)
+    stats.unique = len(unique)
+
+    pending: List[Tuple[Tuple, Cell]] = []
+    for key, cell in unique.items():
+        if runner.lookup_cached(key) is not None:
+            stats.cached += 1
+        else:
+            pending.append((key, cell))
+
+    if jobs == 1 or not pending:
+        return stats
+
+    workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_compute_cell, cell): (key, cell)
+            for key, cell in pending
+        }
+        for future in as_completed(futures):
+            key, cell = futures[future]
+            metrics = RunMetrics.from_dict(future.result())
+            runner.install_result(key, metrics)
+            stats.computed += 1
+            if progress is not None:
+                progress(
+                    f"[{stats.computed + stats.cached}/{stats.unique}] "
+                    f"{cell.scheme} x "
+                    f"{cell.workload or getattr(cell.trace_config, 'name', '?')}"
+                )
+    return stats

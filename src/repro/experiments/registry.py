@@ -8,11 +8,15 @@ Each paper artifact (figure or table) registers a callable producing a
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments.report import Report
 
 RunFn = Callable[..., Report]
+#: Optional enumerator: same keyword signature as the run function, but
+#: returns the list of :class:`~repro.experiments.runner.Cell` simulation
+#: units the run would execute — the parallel runner's work list.
+CellsFn = Callable[..., List]
 
 _REGISTRY: Dict[str, "Experiment"] = {}
 
@@ -25,13 +29,31 @@ class Experiment:
     title: str
     paper_ref: str
     run_fn: RunFn
+    cells_fn: Optional[CellsFn] = None
 
     def run(self, **kwargs) -> Report:
         return self.run_fn(**kwargs)
 
+    def cells(self, **kwargs) -> List:
+        """Enumerate this experiment's simulation cells for ``kwargs``.
+
+        Returns ``[]`` for analytical experiments (no enumerator) and for
+        argument sets the enumerator does not understand — enumeration is
+        a parallelization hint, never required for correctness.
+        """
+        if self.cells_fn is None:
+            return []
+        try:
+            return list(self.cells_fn(**kwargs))
+        except TypeError:
+            return []
+
 
 def register(
-    experiment_id: str, title: str, paper_ref: str
+    experiment_id: str,
+    title: str,
+    paper_ref: str,
+    cells: Optional[CellsFn] = None,
 ) -> Callable[[RunFn], RunFn]:
     """Decorator registering an experiment run function."""
 
@@ -39,7 +61,7 @@ def register(
         if experiment_id in _REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
         _REGISTRY[experiment_id] = Experiment(
-            experiment_id, title, paper_ref, fn
+            experiment_id, title, paper_ref, fn, cells
         )
         return fn
 

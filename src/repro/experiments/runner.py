@@ -3,15 +3,29 @@
 Several paper artifacts are different projections of the same runs
 (Fig. 10, Tables I/IV/V all come from the main five-scheme comparison), so
 completed runs are memoized on their full parameter tuple.
+
+The unit of work is a :class:`Cell`: one (scheme, trace, array-config)
+simulation, identified by a canonical key (see
+:func:`repro.experiments.cache.freeze`).  Cells are picklable, so the
+parallel executor in :mod:`repro.experiments.parallel` can fan them out
+over worker processes; results land in two layers:
+
+* an in-process memo (``_CACHE``) — free within one interpreter, and
+* an optional persistent :class:`~repro.experiments.cache.ResultCache`
+  (enabled by the CLI by default) — free across invocations.
+
+``simulate_workload`` / ``simulate_synthetic`` keep their original
+signatures; every caller transparently benefits from both layers.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core import ArrayConfig, build_controller, run_trace
 from repro.core.metrics import RunMetrics
+from repro.experiments.cache import active_cache, freeze
 from repro.sim import Simulator
 from repro.traces import Trace, build_workload_trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
@@ -31,9 +45,24 @@ DEFAULT_SCALES: Dict[str, float] = {
 
 _CACHE: Dict[Tuple, RunMetrics] = {}
 
+#: In-process accounting of where results came from, reported by the CLI
+#: (``computed`` counts actual simulations executed in this process).
+_stats: Dict[str, int] = {"computed": 0, "memory_hits": 0, "disk_hits": 0}
+
 
 def clear_cache() -> None:
+    """Drop the in-memory memo (the persistent cache is untouched)."""
     _CACHE.clear()
+
+
+def run_stats() -> Dict[str, int]:
+    """Snapshot of the in-process computed/hit counters."""
+    return dict(_stats)
+
+
+def reset_run_stats() -> None:
+    for key in _stats:
+        _stats[key] = 0
 
 
 def workload_scale(name: str, scale: Optional[float]) -> float:
@@ -42,6 +71,145 @@ def workload_scale(name: str, scale: Optional[float]) -> float:
     return DEFAULT_SCALES.get(name, 0.05)
 
 
+# ----------------------------------------------------------------------
+# Cells: picklable, canonically keyed units of simulation work
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True, eq=False)
+class Cell:
+    """One simulation: a scheme replaying one trace on one array config.
+
+    ``kind`` selects between a named paper workload (``"workload"``) and a
+    synthetic trace configuration (``"synthetic"``).  ``scale`` is always
+    the *effective* (resolved) time-scale.  Instances are picklable work
+    units for :func:`repro.experiments.parallel.execute_cells`.
+    """
+
+    kind: str
+    scheme: str
+    workload: Optional[str] = None
+    scale: Optional[float] = None
+    n_pairs: int = 20
+    seed: int = 42
+    config: Optional[ArrayConfig] = None
+    trace_config: Optional[SyntheticTraceConfig] = None
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def key(self) -> Tuple:
+        """Canonical memo/persistent-cache key for this cell."""
+        if self.kind == "synthetic":
+            return (
+                "synthetic",
+                self.scheme,
+                freeze(self.trace_config),
+                freeze(self.config),
+            )
+        return (
+            "workload",
+            self.scheme,
+            self.workload,
+            self.scale,
+            self.n_pairs,
+            self.seed,
+            freeze(self.config),
+            freeze(self.config_overrides),
+        )
+
+    def execute(self) -> RunMetrics:
+        """Run the simulation, bypassing every cache layer."""
+        if self.kind == "synthetic":
+            assert self.trace_config is not None and self.config is not None
+            return _run(
+                self.scheme, generate_trace(self.trace_config), self.config
+            )
+        config = self.config
+        if config is None:
+            config = ArrayConfig(n_pairs=self.n_pairs).scaled(self.scale)
+        if self.config_overrides:
+            config = dataclasses.replace(
+                config, **dict(self.config_overrides)
+            )
+        trace = build_workload_trace(
+            self.workload, scale=self.scale, seed=self.seed
+        )
+        return _run(self.scheme, trace, config)
+
+
+def workload_cell(
+    scheme: str,
+    workload: str,
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    config: Optional[ArrayConfig] = None,
+    seed: int = 42,
+    **config_overrides,
+) -> Cell:
+    """The cell ``simulate_workload`` would run for these arguments."""
+    return Cell(
+        kind="workload",
+        scheme=scheme,
+        workload=workload,
+        scale=workload_scale(workload, scale),
+        n_pairs=n_pairs,
+        seed=seed,
+        config=config,
+        config_overrides=tuple(sorted(config_overrides.items())),
+    )
+
+
+def synthetic_cell(
+    scheme: str, trace_config: SyntheticTraceConfig, config: ArrayConfig
+) -> Cell:
+    """The cell ``simulate_synthetic`` would run for these arguments."""
+    return Cell(
+        kind="synthetic",
+        scheme=scheme,
+        trace_config=trace_config,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache plumbing
+# ----------------------------------------------------------------------
+def lookup_cached(key: Tuple) -> Optional[RunMetrics]:
+    """Memory-then-disk lookup; promotes disk hits into the memo."""
+    hit = _CACHE.get(key)
+    if hit is not None:
+        _stats["memory_hits"] += 1
+        return hit
+    disk = active_cache()
+    if disk is not None:
+        metrics = disk.get(key)
+        if metrics is not None:
+            _stats["disk_hits"] += 1
+            _CACHE[key] = metrics
+            return metrics
+    return None
+
+
+def install_result(key: Tuple, metrics: RunMetrics) -> None:
+    """Write a completed result through both cache layers."""
+    _CACHE[key] = metrics
+    disk = active_cache()
+    if disk is not None:
+        disk.put(key, metrics)
+
+
+def run_cell(cell: Cell) -> RunMetrics:
+    """Cached execution of one cell (the core of ``simulate_*``)."""
+    key = cell.key()
+    cached = lookup_cached(key)
+    if cached is not None:
+        return cached
+    metrics = cell.execute()
+    _stats["computed"] += 1
+    install_result(key, metrics)
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Public simulation entry points (signatures unchanged from the seed)
+# ----------------------------------------------------------------------
 def simulate_workload(
     scheme: str,
     workload: str,
@@ -52,26 +220,17 @@ def simulate_workload(
     **config_overrides,
 ) -> RunMetrics:
     """Replay one named paper workload against one scheme (memoized)."""
-    effective_scale = workload_scale(workload, scale)
-    key = (
-        scheme,
-        workload,
-        effective_scale,
-        n_pairs,
-        seed,
-        config,
-        tuple(sorted(config_overrides.items())),
+    return run_cell(
+        workload_cell(
+            scheme,
+            workload,
+            scale=scale,
+            n_pairs=n_pairs,
+            config=config,
+            seed=seed,
+            **config_overrides,
+        )
     )
-    if key in _CACHE:
-        return _CACHE[key]
-    if config is None:
-        config = ArrayConfig(n_pairs=n_pairs).scaled(effective_scale)
-    if config_overrides:
-        config = dataclasses.replace(config, **config_overrides)
-    trace = build_workload_trace(workload, scale=effective_scale, seed=seed)
-    metrics = _run(scheme, trace, config)
-    _CACHE[key] = metrics
-    return metrics
 
 
 def simulate_synthetic(
@@ -79,13 +238,13 @@ def simulate_synthetic(
     trace_config: SyntheticTraceConfig,
     config: ArrayConfig,
 ) -> RunMetrics:
-    """Replay a synthetic trace configuration (memoized)."""
-    key = ("synthetic", scheme, trace_config.__repr__(), config)
-    if key in _CACHE:
-        return _CACHE[key]
-    metrics = _run(scheme, generate_trace(trace_config), config)
-    _CACHE[key] = metrics
-    return metrics
+    """Replay a synthetic trace configuration (memoized).
+
+    The memo key is the canonical field tuple of ``trace_config`` (shared
+    with the persistent cache's hashing), not its ``repr`` — two configs
+    with equal fields always hit the same entry.
+    """
+    return run_cell(synthetic_cell(scheme, trace_config, config))
 
 
 def _run(scheme: str, trace: Trace, config: ArrayConfig) -> RunMetrics:
@@ -99,9 +258,23 @@ def _run(scheme: str, trace: Trace, config: ArrayConfig) -> RunMetrics:
 def run_scheme_set(
     workload: str,
     schemes: Iterable[str] = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e"),
+    jobs: int = 1,
     **kwargs,
 ) -> Dict[str, RunMetrics]:
-    """The paper's main comparison: all schemes on one workload."""
+    """The paper's main comparison: all schemes on one workload.
+
+    ``jobs > 1`` pre-computes the uncached cells on a process pool; the
+    assembly below then reads them back from the cache, so results are
+    identical to the serial path.
+    """
+    schemes = tuple(schemes)
+    if jobs != 1:
+        from repro.experiments.parallel import execute_cells
+
+        execute_cells(
+            [workload_cell(s, workload, **kwargs) for s in schemes],
+            jobs=jobs,
+        )
     return {
         scheme: simulate_workload(scheme, workload, **kwargs)
         for scheme in schemes
@@ -112,9 +285,23 @@ def run_scheme_set_seeds(
     workload: str,
     schemes: Iterable[str],
     seeds: Iterable[int],
+    jobs: int = 1,
     **kwargs,
 ) -> Dict[str, list]:
     """Run every scheme over several trace seeds (for mean ± stdev)."""
+    schemes = tuple(schemes)
+    seeds = tuple(seeds)
+    if jobs != 1:
+        from repro.experiments.parallel import execute_cells
+
+        execute_cells(
+            [
+                workload_cell(scheme, workload, seed=seed, **kwargs)
+                for seed in seeds
+                for scheme in schemes
+            ],
+            jobs=jobs,
+        )
     out: Dict[str, list] = {scheme: [] for scheme in schemes}
     for seed in seeds:
         for scheme in schemes:

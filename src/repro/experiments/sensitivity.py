@@ -12,6 +12,7 @@ from repro.experiments.registry import register
 from repro.experiments.report import Report, Table
 from repro.experiments.runner import (
     run_scheme_set,
+    workload_cell,
     workload_scale,
 )
 
@@ -21,10 +22,64 @@ GB = 1024**3
 SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
 
 
+def cells_stripe(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    stripe_units_kb: Iterable[int] = (16, 32, 64),
+    workloads: Iterable[str] = ("src2_2", "proj_0"),
+    seed: int = 42,
+):
+    return [
+        workload_cell(
+            s,
+            w,
+            scale=scale,
+            n_pairs=n_pairs,
+            seed=seed,
+            stripe_unit=stripe_kb * KB,
+        )
+        for w in workloads
+        for stripe_kb in stripe_units_kb
+        for s in SCHEMES
+    ]
+
+
+def cells_disksize(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    rolo_free_gb: Iterable[float] = (8, 4, 2),
+    workloads: Iterable[str] = ("src2_2",),
+    seed: int = 42,
+):
+    out = []
+    for workload in workloads:
+        effective = workload_scale(workload, scale)
+        for free_gb in rolo_free_gb:
+            config = dataclasses.replace(
+                ArrayConfig(n_pairs=n_pairs),
+                disk=ULTRASTAR_36Z15,
+                free_space_bytes=int(free_gb * GB),
+                graid_log_capacity_bytes=int(2 * free_gb * GB),
+            ).scaled(effective)
+            out.extend(
+                workload_cell(
+                    s,
+                    workload,
+                    scale=scale,
+                    n_pairs=n_pairs,
+                    seed=seed,
+                    config=config,
+                )
+                for s in SCHEMES[1:]
+            )
+    return out
+
+
 @register(
     "sens-stripe",
     "Sensitivity to the stripe unit size (16/32/64 KB)",
     "§V-C 'Stripe Unit Size'",
+    cells=cells_stripe,
 )
 def run_stripe(
     scale: Optional[float] = None,
@@ -67,6 +122,7 @@ def run_stripe(
     "sens-disksize",
     "Sensitivity to disk size at a fixed 50% free-space ratio",
     "§V-C 'Disk Sizes'",
+    cells=cells_disksize,
 )
 def run_disksize(
     scale: Optional[float] = None,

@@ -13,6 +13,7 @@ from repro.experiments.report import Report, Table
 from repro.experiments.runner import (
     run_scheme_set,
     simulate_workload,
+    workload_cell,
     workload_scale,
 )
 from repro.traces import build_workload_trace
@@ -22,10 +23,48 @@ SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
 WORKLOADS = ("src2_2", "proj_0")
 
 
+def _comparison_cells(
+    scale: Optional[float],
+    n_pairs: int,
+    workloads: Iterable[str],
+    seed: int,
+    schemes: Iterable[str] = SCHEMES,
+):
+    return [
+        workload_cell(s, w, scale=scale, n_pairs=n_pairs, seed=seed)
+        for w in workloads
+        for s in schemes
+    ]
+
+
+def cells_table1(
+    scale: Optional[float] = None,
+    n_pairs: int = 20,
+    workloads: Iterable[str] = WORKLOADS,
+    seed: int = 42,
+):
+    return _comparison_cells(scale, n_pairs, workloads, seed)
+
+
+def cells_table4(
+    scale: Optional[float] = None, n_pairs: int = 20, seed: int = 42
+):
+    return _comparison_cells(scale, n_pairs, WORKLOADS, seed)
+
+
+def cells_table5(
+    scale: Optional[float] = None, n_pairs: int = 20, seed: int = 42
+):
+    return _comparison_cells(
+        scale, n_pairs, WORKLOADS, seed, schemes=("rolo-e", "raid10")
+    )
+
+
 @register(
     "table1",
     "Number of disk spin up/down transitions per scheme",
     "Table I",
+    cells=cells_table1,
 )
 def run_table1(
     scale: Optional[float] = None,
@@ -59,6 +98,7 @@ def run_table1(
     "table4",
     "Energy/performance/reliability comparison of all schemes",
     "Table IV",
+    cells=cells_table4,
 )
 def run_table4(
     scale: Optional[float] = None,
@@ -104,6 +144,7 @@ def run_table4(
     "table5",
     "RoLo-E read characteristics under src2_2 and proj_0",
     "Table V",
+    cells=cells_table5,
 )
 def run_table5(
     scale: Optional[float] = None,

@@ -13,15 +13,35 @@ from typing import Iterable, Optional
 
 from repro.experiments.registry import register
 from repro.experiments.report import Report, Table
-from repro.experiments.runner import run_scheme_set_seeds, summarize_seeds
+from repro.experiments.runner import (
+    run_scheme_set_seeds,
+    summarize_seeds,
+    workload_cell,
+)
 
 SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+
+
+def cells(
+    scale: Optional[float] = 0.02,
+    n_pairs: int = 10,
+    workloads: Iterable[str] = ("src2_2",),
+    seeds: Iterable[int] = (42, 43, 44),
+    **_: object,
+):
+    return [
+        workload_cell(s, w, scale=scale, n_pairs=n_pairs, seed=seed)
+        for w in workloads
+        for seed in seeds
+        for s in SCHEMES
+    ]
 
 
 @register(
     "ext-variance",
     "Seed sensitivity of the main comparison (extension)",
     "robustness of Fig. 10",
+    cells=cells,
 )
 def run(
     scale: Optional[float] = 0.02,

@@ -7,11 +7,14 @@ experiment runs can observe millions of samples.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Tuple
+from bisect import bisect_left
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 
 class StreamingStat:
     """Streaming mean/variance/min/max via Welford's algorithm."""
+
+    __slots__ = ("count", "_mean", "_m2", "_min", "_max", "_total")
 
     def __init__(self) -> None:
         self.count = 0
@@ -22,11 +25,14 @@ class StreamingStat:
         self._total = 0.0
 
     def add(self, value: float) -> None:
-        self.count += 1
+        count = self.count + 1
+        self.count = count
         self._total += value
-        delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
+        mean = self._mean
+        delta = value - mean
+        mean += delta / count
+        self._mean = mean
+        self._m2 += delta * (value - mean)
         if value < self._min:
             self._min = value
         if value > self._max:
@@ -76,6 +82,28 @@ class StreamingStat:
         self._total += other._total
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
+
+    def to_dict(self) -> Dict[str, float]:
+        """Exact (bit-preserving) state dump for the persistent cache."""
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self._min,
+            "max": self._max,
+            "total": self._total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "StreamingStat":
+        stat = cls()
+        stat.count = int(data["count"])
+        stat._mean = float(data["mean"])
+        stat._m2 = float(data["m2"])
+        stat._min = float(data["min"])
+        stat._max = float(data["max"])
+        stat._total = float(data["total"])
+        return stat
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -146,6 +174,8 @@ class Counter:
 class Histogram:
     """Fixed-bucket histogram with overflow bucket and quantile estimation."""
 
+    __slots__ = ("bounds", "counts", "count")
+
     def __init__(self, bounds: List[float]) -> None:
         if not bounds or any(
             bounds[i] >= bounds[i + 1] for i in range(len(bounds) - 1)
@@ -165,14 +195,9 @@ class Histogram:
 
     def add(self, value: float) -> None:
         self.count += 1
-        lo, hi = 0, len(self.bounds)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if value <= self.bounds[mid]:
-                hi = mid
-            else:
-                lo = mid + 1
-        self.counts[lo] += 1
+        # First bucket whose bound is >= value (C-implemented bisect; the
+        # overflow bucket at len(bounds) absorbs everything larger).
+        self.counts[bisect_left(self.bounds, value)] += 1
 
     def quantile(self, q: float) -> float:
         """Upper bucket bound containing quantile ``q`` (0 < q <= 1)."""
@@ -187,6 +212,24 @@ class Histogram:
             if cumulative >= target:
                 return self.bounds[i] if i < len(self.bounds) else math.inf
         return math.inf  # pragma: no cover
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Exact state dump for the persistent cache."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        hist = cls([float(b) for b in data["bounds"]])
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError("histogram count vector mismatch")
+        hist.counts = counts
+        hist.count = int(data["count"])
+        return hist
 
     def nonzero_buckets(self) -> List[Tuple[float, int]]:
         """(upper-bound, count) for every populated bucket."""

@@ -3,6 +3,17 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import cache as result_cache
+from repro.experiments import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    clear_cache()
+    result_cache.configure(enabled=False)
+    yield
+    result_cache.configure(enabled=False)
+    clear_cache()
 
 
 class TestParser:
@@ -21,6 +32,41 @@ class TestParser:
         assert args.experiment == "fig9"
         assert args.scale == 0.02
         assert args.pairs == 4
+
+    def test_run_parallel_and_cache_options(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "fig10",
+                "--jobs",
+                "4",
+                "--no-cache",
+                "--cache-dir",
+                "/tmp/x",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/x"
+
+    def test_run_cache_defaults(self):
+        args = build_parser().parse_args(["run", "fig10"])
+        assert args.jobs is None  # resolved to os.cpu_count() at run time
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_cache_subcommand_parses(self):
+        args = build_parser().parse_args(["cache", "info"])
+        assert args.cache_command == "info"
+        args = build_parser().parse_args(
+            ["cache", "clear", "--cache-dir", "/tmp/x"]
+        )
+        assert args.cache_command == "clear"
+        assert args.cache_dir == "/tmp/x"
+
+    def test_cache_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "nuke"])
 
 
 class TestCommands:
@@ -70,3 +116,64 @@ class TestCommands:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             main(["run", "fig99"])
+
+    def test_run_rejects_bad_jobs(self, capsys):
+        assert main(["run", "fig9", "--jobs", "0"]) == 2
+
+
+class TestCacheCommands:
+    RUN_ARGS = [
+        "run",
+        "fig10",
+        "--scale",
+        "0.004",
+        "--pairs",
+        "2",
+        "--jobs",
+        "1",
+    ]
+
+    def test_cache_info_empty(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:         0" in out
+
+    def test_warm_cache_performs_zero_simulations(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.RUN_ARGS + ["--cache-dir", cache_dir]) == 0
+        cold_out = capsys.readouterr().out
+        assert "computed=10" in cold_out  # 5 schemes x 2 workloads
+        clear_cache()  # fresh interpreter state; only the disk cache warms
+        assert main(self.RUN_ARGS + ["--cache-dir", cache_dir]) == 0
+        warm_out = capsys.readouterr().out
+        assert "computed=0" in warm_out
+        assert "cached=10" in warm_out
+
+        def rows(text):
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("[cells]")
+            ]
+
+        assert rows(warm_out) == rows(cold_out)
+
+    def test_no_cache_flag_skips_persistence(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(self.RUN_ARGS + ["--cache-dir", cache_dir, "--no-cache"])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "entries:         0" in capsys.readouterr().out
+
+    def test_cache_clear_removes_entries(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.RUN_ARGS + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 10" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "entries:         0" in capsys.readouterr().out

@@ -1,0 +1,145 @@
+"""Parallel-vs-serial determinism of the experiment runner.
+
+These tests pin the PR's core invariant: running cells on a process pool
+(or reading them back from a warm persistent cache) produces bit-for-bit
+the same ``RunMetrics`` as the serial in-process path.
+"""
+
+import pytest
+
+from repro.experiments import cache as result_cache
+from repro.experiments import clear_cache, get_experiment
+from repro.experiments.parallel import execute_cells
+from repro.experiments.runner import (
+    reset_run_stats,
+    run_scheme_set_seeds,
+    run_stats,
+    workload_cell,
+)
+
+SCHEMES = ("raid10", "rolo-p")
+SEEDS = (42, 43)
+SCALE = 0.004
+N_PAIRS = 2
+WORKLOAD = "rsrch_2"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    clear_cache()
+    reset_run_stats()
+    result_cache.configure(enabled=False)
+    yield
+    result_cache.configure(enabled=False)
+    clear_cache()
+    reset_run_stats()
+
+
+def _as_dicts(results):
+    return {
+        scheme: [m.to_dict() for m in metrics_list]
+        for scheme, metrics_list in results.items()
+    }
+
+
+class TestParallelDeterminism:
+    def test_jobs2_identical_to_serial(self):
+        serial = run_scheme_set_seeds(
+            WORKLOAD, SCHEMES, SEEDS, jobs=1, scale=SCALE, n_pairs=N_PAIRS
+        )
+        serial_dicts = _as_dicts(serial)
+        clear_cache()
+        reset_run_stats()
+        parallel = run_scheme_set_seeds(
+            WORKLOAD, SCHEMES, SEEDS, jobs=2, scale=SCALE, n_pairs=N_PAIRS
+        )
+        # Every cell was computed by a worker; the assembly loop only read
+        # the memo back.
+        assert run_stats()["computed"] == 0
+        assert run_stats()["memory_hits"] == len(SCHEMES) * len(SEEDS)
+        assert _as_dicts(parallel) == serial_dicts
+
+    def test_execute_cells_counts_and_dedupes(self):
+        cells = [
+            workload_cell(s, WORKLOAD, scale=SCALE, n_pairs=N_PAIRS)
+            for s in SCHEMES
+        ]
+        stats = execute_cells(cells + cells, jobs=2)
+        assert stats.total == 4
+        assert stats.unique == 2
+        assert stats.cached == 0
+        assert stats.computed == 2
+        again = execute_cells(cells, jobs=2)
+        assert again.cached == 2
+        assert again.computed == 0
+
+    def test_jobs1_defers_to_serial_path(self):
+        cells = [
+            workload_cell(s, WORKLOAD, scale=SCALE, n_pairs=N_PAIRS)
+            for s in SCHEMES
+        ]
+        stats = execute_cells(cells, jobs=1)
+        assert stats.computed == 0  # nothing runs on the pool
+        assert run_stats()["computed"] == 0
+
+
+class TestWarmCacheDeterminism:
+    def test_warm_persistent_cache_equals_cold_run(self, tmp_path):
+        result_cache.configure(str(tmp_path / "cache"))
+        cold = run_scheme_set_seeds(
+            WORKLOAD, SCHEMES, SEEDS, scale=SCALE, n_pairs=N_PAIRS
+        )
+        cold_dicts = _as_dicts(cold)
+        assert run_stats()["computed"] == len(SCHEMES) * len(SEEDS)
+        clear_cache()
+        reset_run_stats()
+        warm = run_scheme_set_seeds(
+            WORKLOAD, SCHEMES, SEEDS, scale=SCALE, n_pairs=N_PAIRS
+        )
+        stats = run_stats()
+        assert stats["computed"] == 0
+        assert stats["disk_hits"] == len(SCHEMES) * len(SEEDS)
+        assert _as_dicts(warm) == cold_dicts
+
+
+class TestCellEnumeration:
+    def test_fig10_cells_cover_the_run(self):
+        cells = get_experiment("fig10").cells(
+            scale=SCALE, n_pairs=N_PAIRS, workloads=(WORKLOAD,), seed=42
+        )
+        assert len(cells) == 5  # all five schemes on one workload
+        keys = {c.key() for c in cells}
+        assert len(keys) == 5
+        # Prewarm, then the experiment itself must not simulate anything.
+        execute_cells(cells, jobs=2)
+        reset_run_stats()
+        report = get_experiment("fig10").run(
+            scale=SCALE, n_pairs=N_PAIRS, workloads=(WORKLOAD,), seed=42
+        )
+        assert run_stats()["computed"] == 0
+        assert report.tables[0].rows
+
+    def test_tables_share_fig10_cells(self):
+        fig10_keys = {
+            c.key()
+            for c in get_experiment("fig10").cells(scale=SCALE, seed=42)
+        }
+        for table_id in ("table1", "table4", "table5"):
+            table_keys = {
+                c.key()
+                for c in get_experiment(table_id).cells(
+                    scale=SCALE, seed=42
+                )
+            }
+            assert table_keys <= fig10_keys
+
+    def test_analytical_experiment_has_no_cells(self):
+        assert get_experiment("fig9").cells(seed=42) == []
+
+    def test_every_enumerator_accepts_cli_kwargs(self):
+        """cells(seed=..., scale=...) must never raise for any experiment."""
+        from repro.experiments import list_experiments
+
+        for exp in list_experiments():
+            cells = exp.cells(seed=42, scale=0.01)
+            assert isinstance(cells, list)

