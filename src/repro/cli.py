@@ -10,6 +10,9 @@ Subcommands::
     rolo trace-info src2_2            # characterize a workload replica
     rolo mttdl --mttr-days 3          # reliability numbers
     rolo simulate rolo-p src2_2       # one scheme x workload run
+    rolo simulate rolo-p src2_2 --trace out.json --sample-interval 0.5
+    rolo run fig10 --profile          # per-cell timing report
+    rolo trace summarize out.json     # inspect an event trace
 
 ``rolo run`` fans uncached simulation cells out over a process pool
 (``--jobs N``, default: all cores; ``--jobs 1`` is the exact serial path)
@@ -86,7 +89,7 @@ def _run_experiments(args: argparse.Namespace) -> int:
         # an enumerator (or with jobs=1) simply run serially below.
         cells = experiment.cells(seed=args.seed, **kwargs)
         stats = (
-            execute_cells(cells, jobs=jobs)
+            execute_cells(cells, jobs=jobs, collect_profiles=args.profile)
             if cells
             else CellExecution(jobs=jobs)
         )
@@ -109,6 +112,9 @@ def _run_experiments(args: argparse.Namespace) -> int:
             f"cached={stats.cached} computed={computed} "
             f"jobs={jobs} wall={wall:.2f}s"
         )
+        if args.profile and stats.profiles is not None:
+            print()
+            print(stats.profiles.render())
         print()
         if args.out:
             with open(args.out, "a") as fh:
@@ -168,13 +174,33 @@ def _cmd_mttdl(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    metrics = simulate_workload(
-        args.scheme,
-        args.workload,
-        scale=args.scale,
-        n_pairs=args.pairs or 20,
-        seed=args.seed,
-    )
+    observed = args.trace or args.sample_interval is not None or args.profile
+    if observed:
+        from repro.experiments.runner import run_cell_observed, workload_cell
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        cell = workload_cell(
+            args.scheme,
+            args.workload,
+            scale=args.scale,
+            n_pairs=args.pairs or 20,
+            seed=args.seed,
+        )
+        run = run_cell_observed(
+            cell,
+            trace_events=bool(args.trace),
+            sample_interval=args.sample_interval,
+            profile=args.profile,
+        )
+        metrics = run.metrics
+    else:
+        metrics = simulate_workload(
+            args.scheme,
+            args.workload,
+            scale=args.scale,
+            n_pairs=args.pairs or 20,
+            seed=args.seed,
+        )
     print(metrics.summary())
     print(
         f"  rotations={metrics.rotations}  destage_cycles="
@@ -182,6 +208,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"destaged={metrics.destaged_bytes / 2**20:.0f}MiB  "
         f"read_hit_rate={metrics.read_hit_rate:.2%}"
     )
+    if not observed:
+        return 0
+    if args.trace:
+        events = run.tracer.sorted_events()
+        fmt = args.trace_format
+        if fmt == "auto":
+            fmt = "jsonl" if args.trace.endswith(".jsonl") else "chrome"
+        if fmt == "jsonl":
+            count = write_jsonl(events, args.trace)
+        else:
+            count = write_chrome_trace(events, args.trace)
+        print(f"[trace] wrote {count} events to {args.trace} ({fmt})")
+    if run.sampler is not None:
+        if args.samples:
+            count = run.sampler.to_csv(args.samples)
+            print(f"[samples] wrote {count} samples to {args.samples}")
+        else:
+            print(run.sampler.summary())
+    if run.profile is not None:
+        print(run.profile.report())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_events, summarize_events
+
+    events = read_events(args.file)
+    print(summarize_events(events))
     return 0
 
 
@@ -222,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent result-cache directory (default: .rolo-cache)",
     )
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="report per-cell wall time, event counts and events/sec",
+    )
     run_p.set_defaults(fn=_cmd_run)
 
     cache_p = sub.add_parser(
@@ -251,7 +310,46 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--scale", type=float, default=None)
     sim_p.add_argument("--pairs", type=int, default=None)
     sim_p.add_argument("--seed", type=int, default=42)
+    sim_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record an event trace (.jsonl -> JSON Lines, otherwise "
+        "Chrome trace-event JSON loadable in Perfetto)",
+    )
+    sim_p.add_argument(
+        "--trace-format",
+        choices=("auto", "chrome", "jsonl"),
+        default="auto",
+        help="trace file format (default: by --trace extension)",
+    )
+    sim_p.add_argument(
+        "--sample-interval",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="sample queue depth / power / log occupancy at this "
+        "virtual-time cadence",
+    )
+    sim_p.add_argument(
+        "--samples",
+        metavar="PATH",
+        default=None,
+        help="write time-series samples as CSV (default: print a summary)",
+    )
+    sim_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="report wall time, events processed and events/sec",
+    )
     sim_p.set_defaults(fn=_cmd_simulate)
+
+    trace_p = sub.add_parser(
+        "trace", help="inspect a recorded event trace"
+    )
+    trace_p.add_argument("trace_command", choices=("summarize",))
+    trace_p.add_argument("file", help="trace file (Chrome JSON or JSONL)")
+    trace_p.set_defaults(fn=_cmd_trace)
     return parser
 
 

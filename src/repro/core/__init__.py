@@ -70,16 +70,23 @@ def build_raid5_controller(
 
 
 def build_controller(
-    scheme: str, sim: Simulator, config: ArrayConfig
+    scheme: str,
+    sim: Simulator,
+    config: ArrayConfig,
+    tracer: object = None,
 ) -> Controller:
-    """Construct a controller by scheme name (see :data:`SCHEMES`)."""
+    """Construct a controller by scheme name (see :data:`SCHEMES`).
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; the default (or a
+    falsy ``NullTracer``) leaves the controller uninstrumented.
+    """
     key = scheme.lower()
     try:
         cls = SCHEMES[key]
     except KeyError:
         known = ", ".join(sorted(SCHEMES))
         raise KeyError(f"unknown scheme {scheme!r}; known: {known}") from None
-    return cls(sim, config)
+    return cls(sim, config, tracer=tracer)
 
 
 __all__ = [

@@ -25,11 +25,20 @@ class Controller(abc.ABC):
 
     scheme_name = "abstract"
 
-    def __init__(self, sim: Simulator, config: ArrayConfig) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ArrayConfig,
+        tracer: object = None,
+    ) -> None:
         self.sim = sim
         self.config = config
         self.layout = config.layout()
         self.metrics = RunMetrics()
+        # ``tracer`` is a repro.obs Tracer; the NullTracer default is
+        # falsy, so disabled tracing normalizes to None and every hook
+        # below guards with one identity check.
+        self.tracer = tracer if tracer else None
         self._finalized = False
         self._pending_sleep: Dict[Disk, Callable[[Disk], None]] = {}
         self._build_disks()
@@ -59,6 +68,10 @@ class Controller(abc.ABC):
         tests; schemes without logging return 0."""
         return 0
 
+    def log_regions(self) -> List:
+        """The scheme's log regions (for occupancy sampling); default none."""
+        return []
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
@@ -75,7 +88,69 @@ class Controller(abc.ABC):
             name,
             initial_state=initial,
             scheduler=Scheduler(self.config.disk_scheduler),
+            tracer=self.tracer,
         )
+
+    # ------------------------------------------------------------------
+    # Tracing hooks (no-ops unless a tracer is attached).  Subclasses call
+    # these at rotation hand-offs, destage-process completion, cycle-window
+    # closure and log-space occupancy changes; every hook observes only, so
+    # traced runs stay bit-identical to untraced ones.
+    # ------------------------------------------------------------------
+    def _trace_instant(self, category: str, name: str, **attrs) -> None:
+        """Point event on the scheme's track (rotation, deactivation, ...)."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                category, name, self.scheme_name, self.sim.now, **attrs
+            )
+
+    def _trace_span(
+        self, category: str, name: str, start_ts: float, **attrs
+    ) -> None:
+        """Interval ending now on the scheme's track (destage process, ...)."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.span(
+                category,
+                name,
+                self.scheme_name,
+                start_ts,
+                self.sim.now,
+                **attrs,
+            )
+
+    def _trace_occupancy(self, region) -> None:
+        """Sample one log region's occupancy as a counter series."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.counter(
+                f"occupancy:{region.name}",
+                self.scheme_name,
+                self.sim.now,
+                region.occupancy,
+            )
+
+    def _trace_cycle(self, window) -> None:
+        """Emit a closed cycle window as logging + destage phase spans."""
+        tracer = self.tracer
+        if tracer is None or window.destage_start < 0:
+            return
+        tracer.span(
+            "cycle",
+            "logging",
+            self.scheme_name,
+            window.logging_start,
+            window.destage_start,
+        )
+        if window.destage_end >= 0:
+            tracer.span(
+                "cycle",
+                "destage-window",
+                self.scheme_name,
+                window.destage_start,
+                window.destage_end,
+            )
 
     def _issue(
         self,
@@ -177,6 +252,9 @@ class TraceDriver:
         self._dispatched = 0
         self._arrivals_done = False
         self.completed_at: float = -1.0
+        #: Request ids for tracing: sequential dispatch numbers, so traces
+        #: are comparable across runs (unlike ``id()``).
+        self._rids: Dict[IORequest, int] = {}
 
     def start(self) -> None:
         self._schedule_next()
@@ -198,6 +276,17 @@ class TraceDriver:
             on_complete=self._request_done,
         )
         self._outstanding += 1
+        tracer = self.controller.tracer
+        if tracer is not None:
+            rid = self._dispatched
+            self._rids[request] = rid
+            tracer.request_arrived(
+                rid,
+                record.kind.value,
+                record.offset,
+                record.nbytes,
+                self.sim.now,
+            )
         self._dispatched += 1
         self.controller.submit(request)
         self._schedule_next()
@@ -206,6 +295,11 @@ class TraceDriver:
         self.controller.metrics.record_response(
             request.is_write, request.response_time
         )
+        tracer = self.controller.tracer
+        if tracer is not None:
+            rid = self._rids.pop(request, None)
+            if rid is not None:
+                tracer.request_completed(rid, self.sim.now)
         self._outstanding -= 1
         self._check_done()
 
@@ -237,4 +331,6 @@ def run_trace(
     if drain:
         controller.drain()
         sim.run()
+    if controller.tracer is not None:
+        controller.tracer.finish(sim.now)
     return controller.finalize()

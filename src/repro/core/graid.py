@@ -60,6 +60,9 @@ class GraidController(Controller):
             "log": [self.log_disk],
         }
 
+    def log_regions(self) -> List[LogRegion]:
+        return [self.log_region]
+
     def dirty_units_total(self) -> int:
         return sum(len(units) for units in self._dirty)
 
@@ -125,6 +128,8 @@ class GraidController(Controller):
             request=request,
             sequential=True,
         )
+        if self.tracer is not None:
+            self._trace_occupancy(self.log_region)
         threshold = self.config.destage_threshold * self.log_region.capacity
         if self._mode is _Mode.LOGGING and self.log_region.used >= threshold:
             self._begin_destage()
@@ -137,6 +142,12 @@ class GraidController(Controller):
         self._epoch += 1
         self._reclaim_limit = self._epoch
         now = self.sim.now
+        self._trace_instant(
+            "destage",
+            "centralized-begin",
+            epoch=self._epoch,
+            occupancy=self.log_region.occupancy,
+        )
         self._cycle.destage_start = now
         self._cycle.energy_at_destage_start = self.total_energy_now()
         for mirror in self.mirrors:
@@ -168,6 +179,13 @@ class GraidController(Controller):
     def _process_done(self, process: DestageProcess) -> None:
         self.metrics.destaged_bytes += process.bytes_moved
         self._active_processes -= 1
+        if self.tracer is not None:
+            self._trace_span(
+                "destage",
+                process.name,
+                process.started_at,
+                bytes_moved=process.bytes_moved,
+            )
         if self._active_processes == 0:
             self._end_destage()
 
@@ -178,6 +196,7 @@ class GraidController(Controller):
         self._cycle.destage_end = now
         self._cycle.energy_at_destage_end = self.total_energy_now()
         self.metrics.cycles.append(self._cycle)
+        self._trace_cycle(self._cycle)
         self.metrics.destage_cycles += 1
         self._cycle = CycleWindow(
             logging_start=now,

@@ -38,19 +38,34 @@ class CycleWindow:
         return self.destage_end >= 0
 
     @property
-    def logging_interval(self) -> float:
+    def logging_interval(self) -> Optional[float]:
+        """Length of the logging period, or ``None`` before destaging
+        starts (``destage_start`` is still the ``-1.0`` sentinel)."""
+        if self.destage_start < 0:
+            return None
         return self.destage_start - self.logging_start
 
     @property
-    def destage_interval(self) -> float:
+    def destage_interval(self) -> Optional[float]:
+        """Length of the destaging period, or ``None`` until it finishes."""
+        if self.destage_start < 0 or not self.complete:
+            return None
         return self.destage_end - self.destage_start
 
     @property
-    def logging_energy(self) -> float:
+    def logging_energy(self) -> Optional[float]:
+        """Energy spent during the logging period, or ``None`` before
+        destaging starts."""
+        if self.destage_start < 0:
+            return None
         return self.energy_at_destage_start - self.energy_at_logging_start
 
     @property
-    def destage_energy(self) -> float:
+    def destage_energy(self) -> Optional[float]:
+        """Energy spent during the destaging period, or ``None`` until it
+        finishes."""
+        if self.destage_start < 0 or not self.complete:
+            return None
         return self.energy_at_destage_end - self.energy_at_destage_start
 
 
@@ -219,9 +234,23 @@ class RunMetrics:
 
         Taken when the measurement window closes so that post-trace flush
         activity (``Controller.drain``) cannot leak into reported counters.
+        Mutable members are copied too: a shallow ``copy.copy`` would share
+        the :class:`StreamingStat`/:class:`Histogram` accumulators, the
+        per-role dicts and the :class:`CycleWindow` objects, so responses
+        recorded after the snapshot would retroactively alter it.
         """
         clone = copy.copy(self)
-        clone.cycles = list(self.cycles)
+        clone.response_time = copy.deepcopy(self.response_time)
+        clone.read_response_time = copy.deepcopy(self.read_response_time)
+        clone.write_response_time = copy.deepcopy(self.write_response_time)
+        clone.response_histogram = copy.deepcopy(self.response_histogram)
+        clone.energy_by_role = dict(self.energy_by_role)
+        clone.state_time_by_role = {
+            role: dict(states)
+            for role, states in self.state_time_by_role.items()
+        }
+        clone.energy_by_state = dict(self.energy_by_state)
+        clone.cycles = [dataclasses.replace(c) for c in self.cycles]
         return clone
 
     # ------------------------------------------------------------------
@@ -265,11 +294,14 @@ class RunMetrics:
             if not cycle.complete:
                 continue
             if time:
-                total = cycle.logging_interval + cycle.destage_interval
+                logging_part = cycle.logging_interval
                 part = cycle.destage_interval
             else:
-                total = cycle.logging_energy + cycle.destage_energy
+                logging_part = cycle.logging_energy
                 part = cycle.destage_energy
+            if logging_part is None or part is None:
+                continue
+            total = logging_part + part
             if total > 0:
                 ratios.append(part / total)
         if not ratios:

@@ -85,6 +85,10 @@ class Raid5Controller:
 
     scheme_name = "RAID5"
 
+    #: Parity controllers are not wired for event tracing (§VII future
+    #: work); ``run_trace`` reads this and skips all trace emission.
+    tracer = None
+
     def __init__(self, sim: Simulator, config: Raid5Config) -> None:
         self.sim = sim
         self.config = config

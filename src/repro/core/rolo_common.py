@@ -30,8 +30,13 @@ class RotatedLoggingController(Controller):
     #: RoLo-R overrides this to mirror each log append onto the primary.
     log_to_primary_too = False
 
-    def __init__(self, sim: Simulator, config: ArrayConfig) -> None:
-        super().__init__(sim, config)
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ArrayConfig,
+        tracer: object = None,
+    ) -> None:
+        super().__init__(sim, config, tracer=tracer)
 
     # ------------------------------------------------------------------
     def _build_disks(self) -> None:
@@ -69,6 +74,11 @@ class RotatedLoggingController(Controller):
 
     def disks_by_role(self) -> Dict[str, List[Disk]]:
         return {"primary": self.primaries, "mirror": self.mirrors}
+
+    def log_regions(self) -> List[LogRegion]:
+        if self.log_to_primary_too:
+            return self.mirror_logs + self.primary_logs
+        return list(self.mirror_logs)
 
     def dirty_units_total(self) -> int:
         total = sum(len(s) for s in self._dirty)
@@ -171,6 +181,11 @@ class RotatedLoggingController(Controller):
             self._dirty[pair].add(unit)
         request.seal(self.sim.now)
 
+        if self.tracer is not None:
+            self._trace_occupancy(self.mirror_logs[target])
+            if self.log_to_primary_too:
+                self._trace_occupancy(self.primary_logs[target])
+
         occupancy = self._logger_occupancy(target)
         if occupancy >= self.config.rotate_threshold:
             duty_slot = self._slot_of(target)
@@ -249,6 +264,14 @@ class RotatedLoggingController(Controller):
         now = self.sim.now
         self._epoch += 1
         self.metrics.rotations += 1
+        self._trace_instant(
+            "rotation",
+            "hand-off",
+            slot=slot,
+            from_mirror=current,
+            to_mirror=candidate,
+            epoch=self._epoch,
+        )
         self._prewoken = False
         self._previous_duty[slot] = current
         self._on_duty[slot] = candidate
@@ -299,6 +322,7 @@ class RotatedLoggingController(Controller):
                 window.destage_end = self.sim.now
                 window.energy_at_destage_end = self.total_energy_now()
                 self.metrics.cycles.append(window)
+                self._trace_cycle(window)
             return
         process = DestageProcess(
             self.sim,
@@ -328,11 +352,20 @@ class RotatedLoggingController(Controller):
         self.metrics.destaged_bytes += process.bytes_moved
         self.metrics.destage_cycles += 1
         self._active_process[pair] = None
+        if self.tracer is not None:
+            self._trace_span(
+                "destage",
+                process.name,
+                process.started_at,
+                pair=pair,
+                bytes_moved=process.bytes_moved,
+            )
         self._reclaim(pair, epoch_limit)
         if window is not None:
             window.destage_end = self.sim.now
             window.energy_at_destage_end = self.total_energy_now()
             self.metrics.cycles.append(window)
+            self._trace_cycle(window)
         if self._pending_destage[pair] or (
             self._draining and self._dirty[pair]
         ):
@@ -363,6 +396,7 @@ class RotatedLoggingController(Controller):
             return
         self._deactivated = True
         self.metrics.deactivations += 1
+        self._trace_instant("deactivation", "deactivate")
         for mirror in self.mirrors:
             self._cancel_sleep(mirror)
             mirror.request_spin_up()
@@ -381,6 +415,7 @@ class RotatedLoggingController(Controller):
                 return
             self._on_duty[slot] = candidate
         self._deactivated = False
+        self._trace_instant("deactivation", "reactivate")
         duty = set(self._on_duty)
         for index, mirror in enumerate(self.mirrors):
             if index in duty:

@@ -87,6 +87,9 @@ class RoloEController(Controller):
     def disks_by_role(self) -> Dict[str, List[Disk]]:
         return {"primary": self.primaries, "mirror": self.mirrors}
 
+    def log_regions(self) -> List[LogRegion]:
+        return self.primary_logs + self.mirror_logs
+
     def dirty_units_total(self) -> int:
         return sum(len(s) for s in self._dirty)
 
@@ -168,6 +171,9 @@ class RoloEController(Controller):
         for pair, unit in self.layout.units(request.offset, request.nbytes):
             self._dirty[pair].add(unit)
         request.seal(self.sim.now)
+        if self.tracer is not None:
+            self._trace_occupancy(p_log)
+            self._trace_occupancy(m_log)
         threshold = self.config.destage_threshold
         if self._mode is _Mode.LOGGING and (
             p_log.occupancy >= threshold
@@ -272,6 +278,9 @@ class RoloEController(Controller):
             return
         self._mode = _Mode.SPINNING
         now = self.sim.now
+        self._trace_instant(
+            "destage", "centralized-begin", duty_pair=self._duty_pair
+        )
         self._cycle.destage_start = now
         self._cycle.energy_at_destage_start = self.total_energy_now()
         for disk in self.primaries + self.mirrors:
@@ -329,6 +338,13 @@ class RoloEController(Controller):
     def _process_done(self, process: DestageProcess) -> None:
         self.metrics.destaged_bytes += process.bytes_moved
         self._active_processes -= 1
+        if self.tracer is not None:
+            self._trace_span(
+                "destage",
+                process.name,
+                process.started_at,
+                bytes_moved=process.bytes_moved,
+            )
         if self._active_processes == 0:
             self._end_destage()
 
@@ -340,13 +356,21 @@ class RoloEController(Controller):
         self._cycle.destage_end = now
         self._cycle.energy_at_destage_end = self.total_energy_now()
         self.metrics.cycles.append(self._cycle)
+        self._trace_cycle(self._cycle)
         self.metrics.destage_cycles += 1
         self._cycle = CycleWindow(
             logging_start=now,
             energy_at_logging_start=self.total_energy_now(),
         )
+        previous = self._duty_pair
         self._duty_pair = (self._duty_pair + 1) % self.config.n_pairs
         self.metrics.rotations += 1
+        self._trace_instant(
+            "rotation",
+            "hand-off",
+            from_pair=previous,
+            to_pair=self._duty_pair,
+        )
         self._mode = _Mode.LOGGING
         duty = (self.primaries[self._duty_pair], self.mirrors[self._duty_pair])
         for disk in self.primaries + self.mirrors:

@@ -122,6 +122,7 @@ class Disk:
         name: str,
         initial_state: PowerState = PowerState.IDLE,
         scheduler: Scheduler = Scheduler.FCFS,
+        tracer: object = None,
     ) -> None:
         if initial_state not in (PowerState.IDLE, PowerState.STANDBY):
             raise ValueError("disks start IDLE or STANDBY")
@@ -133,6 +134,15 @@ class Disk:
         self.power = EnergyAccountant(
             PowerModel(spec), sim.now, initial_state
         )
+        # Tracing: ``tracer`` is a repro.obs Tracer; the NullTracer default
+        # is falsy, so the disabled path normalizes to None and every
+        # emission below guards with a plain identity check.
+        self.tracer = tracer if tracer else None
+        if self.tracer is not None:
+            self.tracer.power_state(
+                name, None, initial_state.value, sim.now
+            )
+            self.power.on_transition = self._trace_power
         self._queues: List[Deque[DiskOp]] = [
             collections.deque() for _ in Priority
         ]
@@ -150,6 +160,11 @@ class Disk:
         #: and the next op starting), the §II Fig. 3 raw material.
         self.idle_gap_histogram = Histogram.exponential(0.01, 2.0, 24)
         self._idle_since: float = sim.now if initial_state.spun_up else -1.0
+
+    def _trace_power(
+        self, now: float, old: PowerState, new: PowerState
+    ) -> None:
+        self.tracer.power_state(self.name, old.value, new.value, now)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -286,6 +301,17 @@ class Disk:
             self.foreground_ops += 1
         else:
             self.background_ops += 1
+        if self.tracer is not None:
+            self.tracer.disk_op(
+                self.name,
+                op.kind.value,
+                op.priority.name.lower(),
+                op.sector,
+                op.nbytes,
+                op.submit_time,
+                op.start_time,
+                now,
+            )
         if op.on_complete is not None:
             op.on_complete(op)
         if self._queues[0] or self._queues[1]:

@@ -9,7 +9,7 @@ power model the paper adopts (§V-A).
 from __future__ import annotations
 
 import enum
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.disk.models import DiskSpec
 
@@ -78,6 +78,13 @@ class EnergyAccountant:
         }
         self.spin_up_count = 0
         self.spin_down_count = 0
+        #: Optional observer fired on each real state *change* (not on the
+        #: same-state re-entry that :meth:`close` performs) with
+        #: ``(now, old_state, new_state)``.  This is the single choke
+        #: point the observability layer hooks to trace power spans.
+        self.on_transition: Optional[
+            Callable[[float, PowerState, PowerState], None]
+        ] = None
 
     @property
     def state(self) -> PowerState:
@@ -98,6 +105,8 @@ class EnergyAccountant:
         elif new_state is PowerState.SPINNING_DOWN:
             self.spin_down_count += 1
         self._state = new_state
+        if self.on_transition is not None and new_state is not state:
+            self.on_transition(now, state, new_state)
 
     def close(self, now: float) -> None:
         """Integrate up to ``now`` without a state change."""

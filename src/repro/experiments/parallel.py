@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 from repro.core.metrics import RunMetrics
 from repro.experiments import runner
 from repro.experiments.runner import Cell
+from repro.obs.profiler import CellProfile, ProfileReport
 
 
 def default_jobs() -> int:
@@ -39,14 +40,24 @@ class CellExecution:
     cached: int = 0
     computed: int = 0
     jobs: int = 1
+    #: Per-cell timing, present when ``collect_profiles=True`` was passed.
+    profiles: Optional[ProfileReport] = None
 
     def merged(self, other: "CellExecution") -> "CellExecution":
+        profiles = None
+        if self.profiles is not None or other.profiles is not None:
+            profiles = ProfileReport()
+            for report in (self.profiles, other.profiles):
+                if report is not None:
+                    profiles.cells.extend(report.cells)
+            profiles.finalize()
         return CellExecution(
             total=self.total + other.total,
             unique=self.unique + other.unique,
             cached=self.cached + other.cached,
             computed=self.computed + other.computed,
             jobs=max(self.jobs, other.jobs),
+            profiles=profiles,
         )
 
 
@@ -55,21 +66,37 @@ def _compute_cell(cell: Cell) -> Dict[str, Any]:
     return cell.execute().to_dict()
 
 
+def _compute_cell_profiled(cell: Cell) -> Dict[str, Any]:
+    """Worker entry point with per-cell timing attached."""
+    metrics, profile = cell.execute_profiled()
+    return {"metrics": metrics.to_dict(), "profile": profile.to_dict()}
+
+
 def execute_cells(
     cells: Iterable[Cell],
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    collect_profiles: bool = False,
 ) -> CellExecution:
     """Ensure every cell's result is cached, computing misses in parallel.
 
     Duplicate cells (same canonical key) are computed once.  With
     ``jobs=1`` nothing is computed here — the caller's serial path does it
     — but the cached/pending census is still reported.
+
+    With ``collect_profiles=True`` each computed cell additionally returns
+    a :class:`CellProfile` (wall time, event count, simulated time);
+    cached cells appear in the report with ``source="cached"`` and no
+    timing.  Profiling changes nothing about the metrics: workers still
+    ship exact ``RunMetrics.to_dict()`` payloads.  To keep the report
+    complete, profiling forces pending cells to be computed here even at
+    ``jobs=1`` (serially, in-process).
     """
     if jobs is None:
         jobs = default_jobs()
     cell_list = list(cells)
     stats = CellExecution(total=len(cell_list), jobs=jobs)
+    report = ProfileReport() if collect_profiles else None
 
     unique: Dict[Tuple, Cell] = {}
     for cell in cell_list:
@@ -80,27 +107,48 @@ def execute_cells(
     for key, cell in unique.items():
         if runner.lookup_cached(key) is not None:
             stats.cached += 1
+            if report is not None:
+                report.add(CellProfile(label=cell.label(), source="cached"))
         else:
             pending.append((key, cell))
 
-    if jobs == 1 or not pending:
-        return stats
+    def _note(key: Tuple, cell: Cell) -> None:
+        stats.computed += 1
+        if progress is not None:
+            progress(
+                f"[{stats.computed + stats.cached}/{stats.unique}] "
+                f"{cell.scheme} x "
+                f"{cell.workload or getattr(cell.trace_config, 'name', '?')}"
+            )
 
-    workers = min(jobs, len(pending))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(_compute_cell, cell): (key, cell)
-            for key, cell in pending
-        }
-        for future in as_completed(futures):
-            key, cell = futures[future]
-            metrics = RunMetrics.from_dict(future.result())
+    if pending and jobs == 1 and collect_profiles:
+        # Serial profiled path: compute in-process so the caller's later
+        # serial pass hits the cache and the report covers every cell.
+        for key, cell in pending:
+            metrics, profile = cell.execute_profiled()
             runner.install_result(key, metrics)
-            stats.computed += 1
-            if progress is not None:
-                progress(
-                    f"[{stats.computed + stats.cached}/{stats.unique}] "
-                    f"{cell.scheme} x "
-                    f"{cell.workload or getattr(cell.trace_config, 'name', '?')}"
-                )
+            report.add(profile)
+            _note(key, cell)
+    elif pending and jobs > 1:
+        worker = _compute_cell_profiled if collect_profiles else _compute_cell
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(worker, cell): (key, cell)
+                for key, cell in pending
+            }
+            for future in as_completed(futures):
+                key, cell = futures[future]
+                payload = future.result()
+                if collect_profiles:
+                    metrics = RunMetrics.from_dict(payload["metrics"])
+                    report.add(CellProfile.from_dict(payload["profile"]))
+                else:
+                    metrics = RunMetrics.from_dict(payload)
+                runner.install_result(key, metrics)
+                _note(key, cell)
+
+    if report is not None:
+        report.finalize()
+        stats.profiles = report
     return stats

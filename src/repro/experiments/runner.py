@@ -114,13 +114,21 @@ class Cell:
             freeze(self.config_overrides),
         )
 
-    def execute(self) -> RunMetrics:
-        """Run the simulation, bypassing every cache layer."""
+    def label(self) -> str:
+        """Human-readable cell description (profile tables, progress)."""
+        if self.kind == "synthetic":
+            name = getattr(self.trace_config, "name", "synthetic")
+            return f"{self.scheme} x {name}"
+        return (
+            f"{self.scheme} x {self.workload} "
+            f"scale={self.scale} seed={self.seed}"
+        )
+
+    def materialize(self) -> Tuple[Trace, ArrayConfig]:
+        """Build this cell's trace and resolved array configuration."""
         if self.kind == "synthetic":
             assert self.trace_config is not None and self.config is not None
-            return _run(
-                self.scheme, generate_trace(self.trace_config), self.config
-            )
+            return generate_trace(self.trace_config), self.config
         config = self.config
         if config is None:
             config = ArrayConfig(n_pairs=self.n_pairs).scaled(self.scale)
@@ -131,7 +139,32 @@ class Cell:
         trace = build_workload_trace(
             self.workload, scale=self.scale, seed=self.seed
         )
+        return trace, config
+
+    def execute(self) -> RunMetrics:
+        """Run the simulation, bypassing every cache layer."""
+        trace, config = self.materialize()
         return _run(self.scheme, trace, config)
+
+    def execute_profiled(self) -> Tuple[RunMetrics, "CellProfile"]:
+        """Run uncached, timing the cell (trace build + simulation)."""
+        import time
+
+        from repro.obs.profiler import CellProfile
+
+        started = time.perf_counter()
+        trace, config = self.materialize()
+        sim = Simulator()
+        controller = build_controller(self.scheme, sim, config)
+        metrics = run_trace(controller, trace)
+        controller.assert_consistent()
+        profile = CellProfile(
+            label=self.label(),
+            wall_s=time.perf_counter() - started,
+            events=sim.events_processed,
+            sim_time_s=sim.now,
+        )
+        return metrics, profile
 
 
 def workload_cell(
@@ -253,6 +286,61 @@ def _run(scheme: str, trace: Trace, config: ArrayConfig) -> RunMetrics:
     metrics = run_trace(controller, trace)
     controller.assert_consistent()
     return metrics
+
+
+# ----------------------------------------------------------------------
+# Observed (traced / sampled / profiled) execution
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ObservedRun:
+    """Result of :func:`run_cell_observed`: metrics plus the observability
+    artifacts requested for the run."""
+
+    metrics: RunMetrics
+    tracer: Optional[Any] = None  # RecordingTracer when tracing was on
+    sampler: Optional[Any] = None  # TimeSeriesSampler when sampling was on
+    profile: Optional[Any] = None  # RunProfile when profiling was on
+
+
+def run_cell_observed(
+    cell: Cell,
+    trace_events: bool = False,
+    sample_interval: Optional[float] = None,
+    profile: bool = False,
+) -> ObservedRun:
+    """Execute one cell with observability attached, bypassing all caches.
+
+    Tracing, sampling and profiling all observe without mutating, so the
+    returned metrics are byte-identical to ``cell.execute()``'s (the cache
+    layers are bypassed anyway to guarantee the artifacts describe *this*
+    run, not a memoized one).
+    """
+    from repro.obs.profiler import SimulatorProbe
+    from repro.obs.sampler import TimeSeriesSampler
+    from repro.obs.tracer import RecordingTracer
+
+    tracer = RecordingTracer() if trace_events else None
+    trace, config = cell.materialize()
+    sim = Simulator()
+    controller = build_controller(cell.scheme, sim, config, tracer=tracer)
+    sampler = None
+    if sample_interval is not None:
+        sampler = TimeSeriesSampler(sim, controller, sample_interval)
+        sampler.start()
+    if profile:
+        with SimulatorProbe(sim, count_labels=True) as probe:
+            metrics = run_trace(controller, trace)
+        run_profile = probe.profile
+    else:
+        metrics = run_trace(controller, trace)
+        run_profile = None
+    controller.assert_consistent()
+    return ObservedRun(
+        metrics=metrics,
+        tracer=tracer,
+        sampler=sampler,
+        profile=run_profile,
+    )
 
 
 def run_scheme_set(

@@ -1,0 +1,56 @@
+"""Observability layer: structured tracing, time-series sampling and run
+profiling for simulation runs.
+
+See ``docs/architecture.md`` §8 for the design.  The key contract: every
+hook observes without mutating, so traced/sampled/profiled runs produce
+:class:`~repro.core.metrics.RunMetrics` byte-identical to plain runs, and
+the disabled path (:data:`NULL_TRACER`) adds no work to the optimized
+simulator loop.
+"""
+
+from repro.obs.export import (
+    read_events,
+    summarize_events,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.profiler import (
+    CellProfile,
+    ProfileReport,
+    RunProfile,
+    SimulatorProbe,
+    merge_label_counts,
+)
+from repro.obs.sampler import Sample, TimeSeriesSampler
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    REQUEST_TRACK,
+    TraceEvent,
+    Tracer,
+    normalize,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "TraceEvent",
+    "REQUEST_TRACK",
+    "normalize",
+    "read_events",
+    "summarize_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "Sample",
+    "TimeSeriesSampler",
+    "RunProfile",
+    "CellProfile",
+    "ProfileReport",
+    "SimulatorProbe",
+    "merge_label_counts",
+]

@@ -1,0 +1,257 @@
+"""Trace exporters and readers.
+
+Two on-disk formats:
+
+* **JSONL** — one :class:`~repro.obs.tracer.TraceEvent` dict per line.
+  Trivially greppable / pandas-loadable.
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` format that
+  chrome://tracing and Perfetto load directly.  Every disk gets its own
+  named thread track (power-state and disk-op spans), array-level requests
+  ride a dedicated ``requests`` track, and controller dynamics (rotations,
+  destage windows, cycles) land on the scheme's track.  Occupancy/queue
+  counters become ``"C"`` (counter) events, which Perfetto renders as
+  filled line charts.
+
+``read_events`` auto-detects either format so ``rolo trace summarize``
+works on both.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.obs.tracer import REQUEST_TRACK, TraceEvent
+
+_PID = 1
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def _track_ids(events: Sequence[TraceEvent]) -> Dict[str, int]:
+    """Deterministic track -> tid map: requests first, then sorted names."""
+    tracks = sorted({e.track for e in events} - {REQUEST_TRACK})
+    ids = {REQUEST_TRACK: 0}
+    for i, track in enumerate(tracks, start=1):
+        ids[track] = i
+    return ids
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict:
+    """Convert events to a Chrome trace-event JSON document (a dict)."""
+    tids = _track_ids(events)
+    out: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "rolo-sim"},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for event in events:
+        tid = tids[event.track]
+        ts_us = event.ts * 1e6
+        if event.kind == "span":
+            out.append(
+                {
+                    "name": event.name,
+                    "cat": event.category,
+                    "ph": "X",
+                    "ts": ts_us,
+                    "dur": event.dur * 1e6,
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": dict(event.attrs),
+                }
+            )
+        elif event.kind == "counter":
+            value = event.attrs.get("value", 0.0)
+            out.append(
+                {
+                    "name": event.name,
+                    "cat": event.category,
+                    "ph": "C",
+                    "ts": ts_us,
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"value": value},
+                }
+            )
+        else:
+            out.append(
+                {
+                    "name": event.name,
+                    "cat": event.category,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts_us,
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": dict(event.attrs),
+                }
+            )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[TraceEvent], path: str) -> int:
+    """Write Chrome trace-event JSON; returns the event count (sans
+    metadata records)."""
+    doc = to_chrome_trace(events)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return sum(1 for e in doc["traceEvents"] if e["ph"] != "M")
+
+
+def _events_from_chrome(doc: Dict) -> List[TraceEvent]:
+    names: Dict[int, str] = {}
+    for record in doc.get("traceEvents", []):
+        if record.get("ph") == "M" and record.get("name") == "thread_name":
+            names[int(record["tid"])] = record["args"]["name"]
+    events: List[TraceEvent] = []
+    for record in doc.get("traceEvents", []):
+        ph = record.get("ph")
+        if ph == "M":
+            continue
+        track = names.get(int(record.get("tid", 0)), str(record.get("tid")))
+        ts = float(record.get("ts", 0.0)) / 1e6
+        if ph == "X":
+            events.append(
+                TraceEvent(
+                    ts=ts,
+                    kind="span",
+                    category=record.get("cat", ""),
+                    name=record.get("name", ""),
+                    track=track,
+                    dur=float(record.get("dur", 0.0)) / 1e6,
+                    attrs=dict(record.get("args", {})),
+                )
+            )
+        elif ph == "C":
+            events.append(
+                TraceEvent(
+                    ts=ts,
+                    kind="counter",
+                    category=record.get("cat", "counter"),
+                    name=record.get("name", ""),
+                    track=track,
+                    attrs=dict(record.get("args", {})),
+                )
+            )
+        else:
+            events.append(
+                TraceEvent(
+                    ts=ts,
+                    kind="instant",
+                    category=record.get("cat", ""),
+                    name=record.get("name", ""),
+                    track=track,
+                    attrs=dict(record.get("args", {})),
+                )
+            )
+    return events
+
+
+def read_events(path: str) -> List[TraceEvent]:
+    """Load a saved trace, auto-detecting Chrome JSON vs JSONL.
+
+    Both formats start with ``{``, so detection parses rather than
+    sniffs: a document that is one JSON object with a ``traceEvents``
+    key is Chrome format; anything else is treated as JSON Lines.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return _events_from_chrome(doc)
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Summaries (``rolo trace summarize``)
+# ----------------------------------------------------------------------
+def summarize_events(events: Sequence[TraceEvent]) -> str:
+    """Human-readable cycle/rotation timeline plus per-category totals."""
+    lines: List[str] = []
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.category] = counts.get(event.category, 0) + 1
+    span = (
+        max((e.ts + e.dur for e in events), default=0.0)
+        - min((e.ts for e in events), default=0.0)
+    )
+    lines.append(
+        f"trace: {len(events)} events over {span:.3f}s virtual time"
+    )
+    lines.append("events by category:")
+    for category in sorted(counts):
+        lines.append(f"  {category:10s} {counts[category]}")
+
+    # Power-state residency per disk track.
+    residency: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        if event.category == "power" and event.kind == "span":
+            residency.setdefault(event.track, {})
+            residency[event.track][event.name] = (
+                residency[event.track].get(event.name, 0.0) + event.dur
+            )
+    if residency:
+        lines.append("power-state residency (seconds):")
+        for track in sorted(residency):
+            states = residency[track]
+            parts = " ".join(
+                f"{name}={states[name]:.2f}" for name in sorted(states)
+            )
+            lines.append(f"  {track:8s} {parts}")
+
+    # Chronological controller timeline.
+    timeline = [
+        e
+        for e in events
+        if e.category in ("rotation", "destage", "cycle", "deactivation")
+    ]
+    timeline.sort(key=lambda e: (e.ts, e.category, e.name))
+    if timeline:
+        lines.append("cycle/rotation timeline:")
+        for event in timeline:
+            detail = " ".join(
+                f"{k}={event.attrs[k]}" for k in sorted(event.attrs)
+            )
+            if event.kind == "span":
+                lines.append(
+                    f"  t={event.ts:10.3f}s  {event.category}:{event.name}"
+                    f"  dur={event.dur:.3f}s  {detail}".rstrip()
+                )
+            else:
+                lines.append(
+                    f"  t={event.ts:10.3f}s  {event.category}:{event.name}"
+                    f"  {detail}".rstrip()
+                )
+    return "\n".join(lines)

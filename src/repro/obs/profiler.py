@@ -1,0 +1,203 @@
+"""Run profiling: wall time, event throughput, per-cell timing.
+
+Two layers:
+
+* :class:`SimulatorProbe` — wraps one simulation, timing wall-clock
+  execution and (via the engine's event hook) counting dispatched events
+  by label.  The hook only exists while the probe is active, so unprofiled
+  runs keep the engine's optimized zero-instrumentation loop.
+* :class:`CellProfile` / :class:`ProfileReport` — per-experiment-cell
+  timing collected by :func:`repro.experiments.parallel.execute_cells`.
+  Workers measure their own cells and ship the numbers back with the
+  metrics; the parent merges them in deterministic (label-sorted) order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class RunProfile:
+    """Profile of one simulation run."""
+
+    wall_s: float = 0.0
+    events: int = 0
+    sim_time_s: float = 0.0
+    label_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "sim_time_s": self.sim_time_s,
+            "label_counts": dict(self.label_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunProfile":
+        return cls(
+            wall_s=float(data["wall_s"]),
+            events=int(data["events"]),
+            sim_time_s=float(data["sim_time_s"]),
+            label_counts={
+                str(k): int(v)
+                for k, v in data.get("label_counts", {}).items()
+            },
+        )
+
+    def report(self) -> str:
+        lines = [
+            f"wall={self.wall_s:.3f}s  events={self.events}  "
+            f"rate={self.events_per_s:,.0f} ev/s  "
+            f"sim_time={self.sim_time_s:.2f}s"
+        ]
+        if self.label_counts:
+            lines.append("events by label:")
+            ordered = sorted(
+                self.label_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            for label, count in ordered:
+                lines.append(f"  {label:24s} {count}")
+        return "\n".join(lines)
+
+
+class SimulatorProbe:
+    """Context manager instrumenting one :class:`Simulator` run.
+
+    While active, an event hook on the simulator counts dispatched events
+    by label (``rolo-e:poll``, ``M3:io``, ``arrival``, ...).  On exit the
+    hook is removed, restoring the uninstrumented run loop.
+    """
+
+    def __init__(self, sim: Simulator, count_labels: bool = True) -> None:
+        self.sim = sim
+        self.count_labels = count_labels
+        self.profile = RunProfile()
+        self._events_before = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "SimulatorProbe":
+        self._events_before = self.sim.events_processed
+        if self.count_labels:
+            counts = self.profile.label_counts
+
+            def _hook(event) -> None:
+                label = event.label or "(unlabeled)"
+                counts[label] = counts.get(label, 0) + 1
+
+            self.sim.set_event_hook(_hook)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.profile.wall_s = time.perf_counter() - self._t0
+        if self.count_labels:
+            self.sim.set_event_hook(None)
+        self.profile.events = self.sim.events_processed - self._events_before
+        self.profile.sim_time_s = self.sim.now
+
+
+@dataclasses.dataclass
+class CellProfile:
+    """Timing of one experiment cell (one scheme x trace simulation)."""
+
+    label: str
+    wall_s: float = 0.0
+    events: int = 0
+    sim_time_s: float = 0.0
+    #: "computed" (fresh simulation) or "cached" (served from a cache
+    #: layer; wall/events are zero because nothing ran).
+    source: str = "computed"
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "sim_time_s": self.sim_time_s,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellProfile":
+        return cls(
+            label=str(data["label"]),
+            wall_s=float(data["wall_s"]),
+            events=int(data["events"]),
+            sim_time_s=float(data["sim_time_s"]),
+            source=str(data.get("source", "computed")),
+        )
+
+
+@dataclasses.dataclass
+class ProfileReport:
+    """Merged per-cell profiles for one experiment invocation."""
+
+    cells: List[CellProfile] = dataclasses.field(default_factory=list)
+
+    def add(self, cell: CellProfile) -> None:
+        self.cells.append(cell)
+
+    def finalize(self) -> None:
+        """Deterministic ordering regardless of pool completion order."""
+        self.cells.sort(key=lambda c: (c.source, c.label))
+
+    @property
+    def computed(self) -> List[CellProfile]:
+        return [c for c in self.cells if c.source == "computed"]
+
+    def render(self) -> str:
+        self.finalize()
+        computed = self.computed
+        lines = ["[profile] per-cell timing:"]
+        if not self.cells:
+            lines.append("  (no cells)")
+            return "\n".join(lines)
+        width = max(len(c.label) for c in self.cells)
+        for cell in self.cells:
+            if cell.source == "computed":
+                lines.append(
+                    f"  {cell.label:{width}s}  wall={cell.wall_s:8.3f}s  "
+                    f"events={cell.events:>9d}  "
+                    f"rate={cell.events_per_s:>12,.0f} ev/s"
+                )
+            else:
+                lines.append(f"  {cell.label:{width}s}  cached")
+        if computed:
+            wall = sum(c.wall_s for c in computed)
+            events = sum(c.events for c in computed)
+            rate = events / wall if wall > 0 else 0.0
+            lines.append(
+                f"  total: {len(computed)} computed / "
+                f"{len(self.cells) - len(computed)} cached  "
+                f"cell_wall={wall:.3f}s  events={events}  "
+                f"rate={rate:,.0f} ev/s"
+            )
+        else:
+            lines.append(
+                f"  total: 0 computed / {len(self.cells)} cached"
+            )
+        return "\n".join(lines)
+
+
+def merge_label_counts(
+    into: Dict[str, int], counts: Optional[Dict[str, int]]
+) -> None:
+    """Accumulate one run's label counts into an aggregate dict."""
+    if not counts:
+        return
+    for label, count in counts.items():
+        into[label] = into.get(label, 0) + count

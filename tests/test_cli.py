@@ -177,3 +177,123 @@ class TestCacheCommands:
         assert "removed 10" in capsys.readouterr().out
         assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
         assert "entries:         0" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    SIM_ARGS = [
+        "simulate",
+        "rolo-p",
+        "rsrch_2",
+        "--scale",
+        "0.004",
+        "--pairs",
+        "2",
+    ]
+
+    def test_simulate_flag_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "rolo-p",
+                "src2_2",
+                "--trace",
+                "out.json",
+                "--trace-format",
+                "jsonl",
+                "--sample-interval",
+                "0.5",
+                "--samples",
+                "s.csv",
+                "--profile",
+            ]
+        )
+        assert args.trace == "out.json"
+        assert args.trace_format == "jsonl"
+        assert args.sample_interval == 0.5
+        assert args.samples == "s.csv"
+        assert args.profile is True
+
+    def test_simulate_defaults_stay_unobserved(self):
+        args = build_parser().parse_args(["simulate", "rolo-p", "src2_2"])
+        assert args.trace is None
+        assert args.sample_interval is None
+        assert args.profile is False
+
+    def test_simulate_with_trace_and_samples(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert (
+            main(self.SIM_ARGS + ["--trace", str(trace_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "requests=" in out
+        assert "[trace] wrote" in out
+        import json as _json
+
+        doc = _json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_simulate_jsonl_by_extension(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(self.SIM_ARGS + ["--trace", str(trace_path)]) == 0
+        assert "(jsonl)" in capsys.readouterr().out
+        first_line = trace_path.read_text().splitlines()[0]
+        import json as _json
+
+        assert "ts" in _json.loads(first_line)
+
+    def test_simulate_sampling_and_profile(self, capsys, tmp_path):
+        csv_path = tmp_path / "samples.csv"
+        assert (
+            main(
+                self.SIM_ARGS
+                + [
+                    "--sample-interval",
+                    "5",
+                    "--samples",
+                    str(csv_path),
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[samples] wrote" in out
+        assert "rate=" in out
+        assert csv_path.read_text().startswith("ts,")
+
+    def test_simulate_sample_summary_without_path(self, capsys):
+        assert main(self.SIM_ARGS + ["--sample-interval", "10"]) == 0
+        assert "peak_queue=" in capsys.readouterr().out
+
+    def test_trace_summarize(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(self.SIM_ARGS + ["--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "events by category" in out
+        assert "power-state residency" in out
+
+    def test_run_profile_reports_cells(self, capsys, tmp_path):
+        result_cache.configure(directory=str(tmp_path), enabled=True)
+        assert (
+            main(
+                [
+                    "run",
+                    "fig10",
+                    "--scale",
+                    "0.004",
+                    "--pairs",
+                    "2",
+                    "--jobs",
+                    "1",
+                    "--profile",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[profile] per-cell timing" in out
+        assert "total:" in out

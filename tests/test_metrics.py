@@ -28,6 +28,30 @@ class TestCycleWindow:
     def test_incomplete(self):
         assert not CycleWindow(logging_start=0.0).complete
 
+    def test_incomplete_intervals_are_none(self):
+        # destage_start still at the -1.0 sentinel: no interval or energy
+        # figure is meaningful yet.
+        c = CycleWindow(logging_start=5.0)
+        assert c.logging_interval is None
+        assert c.destage_interval is None
+        assert c.logging_energy is None
+        assert c.destage_energy is None
+
+    def test_destaging_but_unfinished(self):
+        # Destage started but not done: the logging period is determined,
+        # the destaging period is not.
+        c = CycleWindow(
+            logging_start=0.0,
+            destage_start=10.0,
+            energy_at_logging_start=100.0,
+            energy_at_destage_start=300.0,
+        )
+        assert not c.complete
+        assert c.logging_interval == 10.0
+        assert c.logging_energy == 200.0
+        assert c.destage_interval is None
+        assert c.destage_energy is None
+
 
 class TestRunMetrics:
     def test_record_response_classifies(self):
@@ -87,6 +111,36 @@ class TestRunMetrics:
         m.spin_up_count = 3
         m.spin_down_count = 2
         assert m.spin_cycle_count == 5
+
+    def test_snapshot_isolated_from_later_responses(self):
+        # Regression: snapshot() used copy.copy, which shared the
+        # StreamingStat/Histogram accumulators with the live object —
+        # responses recorded during drain retroactively altered the
+        # reported metrics.
+        m = RunMetrics()
+        m.record_response(True, 0.01)
+        m.record_response(False, 0.02)
+        snap = m.snapshot()
+        before = snap.to_dict()
+        m.record_response(True, 5.0)  # post-window flush activity
+        m.read_hits += 7
+        assert snap.to_dict() == before
+        assert snap.requests == 2
+        assert snap.response_time.count == 2
+        assert m.response_time.count == 3
+
+    def test_snapshot_isolated_cycles_and_dicts(self):
+        m = RunMetrics()
+        window = CycleWindow(0.0, 8.0, 10.0, 0.0, 80.0, 100.0)
+        m.cycles.append(window)
+        m.energy_by_role = {"primary": 1.0}
+        snap = m.snapshot()
+        window.destage_end = 99.0  # in-flight cycle updated after snapshot
+        m.energy_by_role["primary"] = 2.0
+        m.cycles.append(CycleWindow(10.0))
+        assert snap.cycles[0].destage_end == 10.0
+        assert len(snap.cycles) == 1
+        assert snap.energy_by_role["primary"] == 1.0
 
     def test_summary_contains_key_fields(self):
         m = RunMetrics()

@@ -143,3 +143,58 @@ class TestCellEnumeration:
         for exp in list_experiments():
             cells = exp.cells(seed=42, scale=0.01)
             assert isinstance(cells, list)
+
+
+class TestProfiledExecution:
+    def _cells(self):
+        return [
+            workload_cell(
+                scheme, WORKLOAD, scale=SCALE, n_pairs=N_PAIRS, seed=42
+            )
+            for scheme in SCHEMES
+        ]
+
+    def test_profiled_pool_metrics_identical(self):
+        cells = self._cells()
+        baseline = [c.execute().to_dict() for c in cells]
+        clear_cache()
+        stats = execute_cells(cells, jobs=2, collect_profiles=True)
+        from repro.experiments.runner import lookup_cached
+
+        assert stats.computed == len(cells)
+        assert [
+            lookup_cached(c.key()).to_dict() for c in cells
+        ] == baseline
+        report = stats.profiles
+        assert report is not None
+        assert len(report.cells) == len(cells)
+        assert all(p.source == "computed" for p in report.cells)
+        assert all(p.events > 0 and p.wall_s > 0 for p in report.cells)
+        # Deterministic ordering regardless of pool completion order.
+        assert [p.label for p in report.cells] == sorted(
+            p.label for p in report.cells
+        )
+
+    def test_profiled_serial_computes_in_process(self):
+        cells = self._cells()
+        stats = execute_cells(cells, jobs=1, collect_profiles=True)
+        assert stats.computed == len(cells)
+        assert len(stats.profiles.computed) == len(cells)
+        # Results were installed: a second pass sees only cached cells.
+        again = execute_cells(cells, jobs=1, collect_profiles=True)
+        assert again.computed == 0
+        assert again.cached == len(cells)
+        assert all(p.source == "cached" for p in again.profiles.cells)
+
+    def test_no_profiles_without_flag(self):
+        stats = execute_cells(self._cells(), jobs=1)
+        assert stats.profiles is None
+
+    def test_merged_combines_profiles(self):
+        cells = self._cells()
+        first = execute_cells(cells[:1], jobs=1, collect_profiles=True)
+        second = execute_cells(cells[1:], jobs=1, collect_profiles=True)
+        merged = first.merged(second)
+        assert len(merged.profiles.cells) == len(cells)
+        plain = first.merged(execute_cells(cells[1:], jobs=1))
+        assert len(plain.profiles.cells) == 1

@@ -166,3 +166,73 @@ class TestTimer:
         sim = Simulator()
         with pytest.raises(SimulationError):
             Timer(sim, -1.0, lambda: None)
+
+
+class TestRunEdgeCases:
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: (fired.append(2), sim.stop()))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run()
+        # The stopping event finishes; later events stay queued.
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+        assert sim.peek() == 3.0
+        # A second run() resumes from where stop() left off.
+        sim.run()
+        assert fired == [1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.at(t, fired.append, t)
+        sim.run(until=2.5)
+        assert fired == [1.0, 2.0]
+        assert sim.now == 2.5  # clock advanced to the horizon exactly
+        assert sim.events_processed == 2
+        # Resume: remaining events fire at their original times.
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+        assert sim.now == 4.0
+        assert sim.events_processed == 4
+
+    def test_run_until_exact_event_time_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.at(2.0, fired.append, 2.0)
+        sim.at(2.0 + 1e-9, fired.append, "later")
+        sim.run(until=2.0)
+        assert fired == [2.0]
+        assert sim.now == 2.0
+
+    def test_cancelled_events_not_counted(self):
+        sim = Simulator()
+        kept = [sim.schedule(1.0, lambda: None) for _ in range(3)]
+        dropped = [sim.schedule(0.5, lambda: None) for _ in range(5)]
+        for event in dropped:
+            event.cancel()
+        sim.run()
+        assert sim.events_processed == len(kept)
+        assert sim.now == 1.0
+
+    def test_cancelled_events_not_counted_via_step(self):
+        sim = Simulator()
+        event = sim.schedule(0.5, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.step() is True
+        assert sim.events_processed == 1
+        assert sim.now == 1.0
+
+    def test_stop_during_run_until_still_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=10.0)
+        assert fired == []
+        assert sim.now == 10.0  # horizon still honored after a stop
