@@ -239,6 +239,108 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    previous_cache = result_cache.active_cache()
+    result_cache.configure(
+        directory=args.cache_dir, enabled=not args.no_cache
+    )
+    try:
+        if args.faults_command == "inject":
+            return _faults_inject(args)
+        return _faults_campaign(args)
+    finally:
+        result_cache.configure(
+            directory=previous_cache.directory if previous_cache else None,
+            enabled=previous_cache is not None,
+        )
+
+
+def _faults_inject(args: argparse.Namespace) -> int:
+    from repro.faults import FaultSchedule, fault_cell
+
+    schedule = FaultSchedule.parse(args.spec)
+    cell = fault_cell(
+        args.scheme,
+        args.workload,
+        schedule,
+        scale=args.scale,
+        n_pairs=args.pairs or 4,
+        seed=args.seed,
+    )
+    result = cell.execute()
+    print(result.metrics.summary())
+    print(f"  schedule: {result.schedule}")
+    for event in result.events:
+        extra = {
+            k: v
+            for k, v in event.items()
+            if k not in ("kind", "disk", "t")
+        }
+        tail = f"  {extra}" if extra else ""
+        print(
+            f"  [{event['t']:9.3f}s] {event['kind']:14s} "
+            f"{event['disk']}{tail}"
+        )
+    for rebuild in result.rebuilds:
+        print(
+            f"  [{rebuild['finished']:9.3f}s] rebuild of {rebuild['disk']} "
+            f"done in {rebuild['rebuild_time']:.1f}s"
+        )
+    for check in result.checks:
+        verdict = "OK" if check.ok else f"LOST {len(check.lost)} blocks"
+        print(
+            f"  oracle @{check.time:9.3f}s {check.event:24s} "
+            f"tracked={check.tracked_units}  {verdict}"
+        )
+    return 0 if result.consistent else 1
+
+
+def _faults_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import build_campaign, campaign_summary, run_campaign
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    times = [float(t) for t in args.times.split(",") if t.strip()]
+    cells = build_campaign(
+        schemes=args.schemes.split(","),
+        workloads=args.workloads.split(","),
+        fault_times=times,
+        disks=args.disks.split(","),
+        scale=args.scale,
+        n_pairs=args.pairs or 4,
+        seed=args.seed,
+    )
+    results = run_campaign(
+        cells,
+        jobs=jobs,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    summary = campaign_summary(cells, results)
+    width = max(len(row["schedule"]) for row in summary["rows"])
+    for row in summary["rows"]:
+        verdict = "OK" if row["consistent"] else "INCONSISTENT"
+        rebuild = (
+            f"rebuild={row['rebuild_time_s']:.1f}s"
+            if row["rebuild_time_s"] is not None
+            else "no rebuild"
+        )
+        print(
+            f"  {row['scheme']:7s} {row['workload']:8s} "
+            f"{row['schedule']:{width}s}  lost={row['lost_blocks']}  "
+            f"{rebuild}  {verdict}"
+        )
+    print(
+        f"[campaign] cells={summary['cells']} "
+        f"inconsistent={summary['inconsistent_cells']} jobs={jobs}"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if summary["inconsistent_cells"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rolo",
@@ -350,6 +452,58 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("trace_command", choices=("summarize",))
     trace_p.add_argument("file", help="trace file (Chrome JSON or JSONL)")
     trace_p.set_defaults(fn=_cmd_trace)
+
+    faults_p = sub.add_parser(
+        "faults", help="fault injection with the consistency oracle"
+    )
+    faults_sub = faults_p.add_subparsers(
+        dest="faults_command", required=True
+    )
+
+    inject_p = faults_sub.add_parser(
+        "inject", help="one faulted scheme x workload run"
+    )
+    inject_p.add_argument("scheme")
+    inject_p.add_argument("workload")
+    inject_p.add_argument(
+        "--spec",
+        required=True,
+        help=(
+            "fault schedule, e.g. 'fail@30:M0' or "
+            "'fail@30:M0:norebuild,slow@10:P1:4x20,lse@5:P0:2048+16'"
+        ),
+    )
+    inject_p.add_argument("--scale", type=float, default=None)
+    inject_p.add_argument("--pairs", type=int, default=None)
+    inject_p.add_argument("--seed", type=int, default=42)
+    inject_p.add_argument("--no-cache", action="store_true")
+    inject_p.add_argument("--cache-dir", default=None)
+    inject_p.set_defaults(fn=_cmd_faults)
+
+    camp_p = faults_sub.add_parser(
+        "campaign",
+        help="scheme x workload x fault-time grid with oracle verdicts",
+    )
+    camp_p.add_argument(
+        "--schemes", default="raid10,graid,rolo-p,rolo-r,rolo-e"
+    )
+    camp_p.add_argument("--workloads", default="src2_2")
+    camp_p.add_argument(
+        "--times", default="10,20,30,40,50", help="fault times (s), comma-separated"
+    )
+    camp_p.add_argument(
+        "--disks", default="P0,M0", help="victim disks, comma-separated"
+    )
+    camp_p.add_argument("--scale", type=float, default=None)
+    camp_p.add_argument("--pairs", type=int, default=None)
+    camp_p.add_argument("--seed", type=int, default=42)
+    camp_p.add_argument(
+        "--jobs", type=int, default=None, help="worker processes"
+    )
+    camp_p.add_argument("--json", help="write the summary as JSON here")
+    camp_p.add_argument("--no-cache", action="store_true")
+    camp_p.add_argument("--cache-dir", default=None)
+    camp_p.set_defaults(fn=_cmd_faults)
     return parser
 
 

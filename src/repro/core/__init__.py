@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Type
 
-from repro.core.base import Controller, TraceDriver, run_trace
+from repro.core.base import Controller, DataLossError, TraceDriver, run_trace
 from repro.core.config import ArrayConfig
 from repro.core.destage import DestageProcess, coalesce_units
 from repro.core.graid import GraidController
@@ -74,11 +74,16 @@ def build_controller(
     sim: Simulator,
     config: ArrayConfig,
     tracer: object = None,
+    oracle: object = None,
 ) -> Controller:
     """Construct a controller by scheme name (see :data:`SCHEMES`).
 
     ``tracer`` is an optional :class:`repro.obs.Tracer`; the default (or a
     falsy ``NullTracer``) leaves the controller uninstrumented.
+    ``oracle`` is an optional
+    :class:`repro.faults.ConsistencyOracle`; when given it is attached to
+    the controller and mirrors every acknowledged write for the
+    fault-injection consistency checks.
     """
     key = scheme.lower()
     try:
@@ -86,12 +91,16 @@ def build_controller(
     except KeyError:
         known = ", ".join(sorted(SCHEMES))
         raise KeyError(f"unknown scheme {scheme!r}; known: {known}") from None
-    return cls(sim, config, tracer=tracer)
+    controller = cls(sim, config, tracer=tracer)
+    if oracle is not None:
+        oracle.attach(controller)
+    return controller
 
 
 __all__ = [
     "ArrayConfig",
     "Controller",
+    "DataLossError",
     "TraceDriver",
     "run_trace",
     "build_controller",

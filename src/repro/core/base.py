@@ -14,6 +14,10 @@ from repro.sim.engine import Simulator
 from repro.traces.record import Trace
 
 
+class DataLossError(RuntimeError):
+    """Both copies of a mirrored pair are gone."""
+
+
 class Controller(abc.ABC):
     """Base class of all array controllers (RAID10, GRAID, RoLo-P/R/E).
 
@@ -21,6 +25,12 @@ class Controller(abc.ABC):
     :class:`~repro.raid.request.IORequest` objects into disk operations, and
     implements the scheme's power policy.  Subclasses must implement
     :meth:`submit`, :meth:`_build_disks` and :meth:`disks_by_role`.
+
+    Fault handling is shared: :meth:`fail_disk` injects a fail-stop disk
+    failure and :meth:`begin_rebuild` runs an online rebuild onto a fresh
+    replacement.  Schemes customize through the :meth:`_on_disk_failed` /
+    :meth:`_on_rebuild_complete` hooks rather than by overriding the entry
+    points.
     """
 
     scheme_name = "abstract"
@@ -41,6 +51,12 @@ class Controller(abc.ABC):
         self.tracer = tracer if tracer else None
         self._finalized = False
         self._pending_sleep: Dict[Disk, Callable[[Disk], None]] = {}
+        #: failed disk -> in-progress replacement (empty until a rebuild).
+        self._rebuilding: Dict[Disk, Disk] = {}
+        #: Optional repro.faults ConsistencyOracle; attached post-
+        #: construction by ``ConsistencyOracle.attach``.  The oracle only
+        #: observes, so runs with it enabled are byte-identical.
+        self.oracle = None
         self._build_disks()
 
     # ------------------------------------------------------------------
@@ -71,6 +87,139 @@ class Controller(abc.ABC):
     def log_regions(self) -> List:
         """The scheme's log regions (for occupancy sampling); default none."""
         return []
+
+    # ------------------------------------------------------------------
+    # Fault injection and online rebuild (shared across all schemes)
+    # ------------------------------------------------------------------
+    def _locate(self, disk: Disk) -> "tuple":
+        """Return ``(role, index)`` of a member disk."""
+        for role, disks in self.disks_by_role().items():
+            for index, candidate in enumerate(disks):
+                if candidate is disk:
+                    return role, index
+        raise ValueError(f"{disk.name} is not part of {self.scheme_name}")
+
+    def fail_disk(self, disk: Disk) -> None:
+        """Inject a fail-stop failure; subsequent I/O routes around it.
+
+        The scheme-specific reaction (duty hand-off, destage abort,
+        degraded routing state) happens in :meth:`_on_disk_failed`.
+        """
+        role, index = self._locate(disk)
+        disk.fail()
+        self._cancel_sleep(disk)
+        self._trace_instant(
+            "fault", "disk-failure", disk=disk.name, role=role
+        )
+        self._on_disk_failed(disk, role, index)
+
+    def _on_disk_failed(self, disk: Disk, role: str, index: int) -> None:
+        """Scheme hook: adapt in-flight logging/destaging to the failure.
+
+        Runs after the disk is already FAILED.  Default: nothing beyond
+        the generic degraded routing."""
+
+    def begin_rebuild(
+        self,
+        disk: Disk,
+        on_complete: Optional[Callable[[], None]] = None,
+    ):
+        """Rebuild a failed disk onto a fresh replacement, online.
+
+        New writes are mirrored to the replacement while the background
+        copy runs, so the replacement is fully consistent at swap time.
+        Returns the :class:`~repro.core.recovery.RecoveryProcess`.
+        """
+        from repro.core.recovery import RecoveryProcess, plan_recovery
+
+        if not disk.failed:
+            raise ValueError(f"{disk.name} has not failed")
+        if disk in self._rebuilding:
+            raise ValueError(f"{disk.name} is already rebuilding")
+        role, index = self._locate(disk)
+        plan = plan_recovery(self, disk)
+        start_ts = self.sim.now
+
+        def _swap(process: "RecoveryProcess") -> None:
+            replacement = process.replacement
+            self._replace_disk(disk, replacement)
+            del self._rebuilding[disk]
+            self._trace_span(
+                "fault",
+                "rebuild",
+                start_ts,
+                disk=disk.name,
+                replacement=replacement.name,
+            )
+            if self.oracle is not None:
+                self.oracle.note_rebuilt(role, index, replacement.name)
+            self._on_rebuild_complete(disk, replacement)
+            if on_complete is not None:
+                on_complete()
+
+        process = RecoveryProcess(
+            self.sim, self, plan, on_complete=_swap
+        )
+        self._rebuilding[disk] = process.replacement
+        process.start()
+        return process
+
+    def _replace_disk(self, old: Disk, new: Disk) -> None:
+        """Swap a rebuilt replacement into every role list holding ``old``.
+
+        ``disks_by_role`` must therefore return the controller's actual
+        lists, not copies (all schemes do)."""
+        for disks in self.disks_by_role().values():
+            for index, candidate in enumerate(disks):
+                if candidate is old:
+                    disks[index] = new
+
+    def _on_rebuild_complete(self, old: Disk, new: Disk) -> None:
+        """Scheme hook: the replacement has been swapped in for ``old``."""
+
+    def _pair_degraded(self, pair: int) -> bool:
+        """True while either disk of a mirrored pair is failed."""
+        return self.primaries[pair].failed or self.mirrors[pair].failed
+
+    def _write_targets(self, pair: int) -> List[Disk]:
+        """Where an in-place write to ``pair`` must land: the surviving
+        copies, plus the replacement while a rebuild is running."""
+        targets: List[Disk] = []
+        for disk in (self.primaries[pair], self.mirrors[pair]):
+            if disk.failed:
+                replacement = self._rebuilding.get(disk)
+                if replacement is not None:
+                    targets.append(replacement)
+            else:
+                targets.append(disk)
+        if not targets:
+            raise DataLossError(f"pair {pair} has lost both copies")
+        return targets
+
+    def _read_source(self, pair: int) -> Disk:
+        """Least-loaded surviving copy of a mirrored pair."""
+        alive = [
+            d
+            for d in (self.primaries[pair], self.mirrors[pair])
+            if not d.failed
+        ]
+        if not alive:
+            raise DataLossError(f"pair {pair} has lost both copies")
+        return min(alive, key=lambda d: d.queue_depth)
+
+    def _unit_coverage(self, offset: int, nbytes: int):
+        """Yield ``(pair, unit_base, fully_covered)`` for every stripe unit
+        a logical extent touches — the consistency oracle's granularity."""
+        unit = self.layout.stripe_unit
+        for seg in self.layout.map_extent(offset, nbytes):
+            first = (seg.disk_offset // unit) * unit
+            last = ((seg.end_offset - 1) // unit) * unit
+            for base in range(first, last + 1, unit):
+                full = (
+                    seg.disk_offset <= base
+                    and seg.end_offset >= base + unit
+                )
+                yield seg.pair, base, full
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -193,7 +342,7 @@ class Controller(abc.ABC):
 
     def _sleep_when_quiet(self, disk: Disk) -> None:
         """Spin ``disk`` down now or as soon as it drains."""
-        if disk in self._pending_sleep:
+        if disk.failed or disk in self._pending_sleep:
             return
         if disk.request_spin_down():
             return

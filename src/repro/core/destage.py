@@ -81,6 +81,7 @@ class DestageProcess:
         self._next_batch = 0
         self._in_flight = False
         self._writes_outstanding = 0
+        self.aborted = False
         self.on_complete = on_complete
         self.bytes_moved = 0
         self.started_at = sim.now
@@ -100,6 +101,43 @@ class DestageProcess:
     @property
     def remaining_batches(self) -> int:
         return len(self._batches) - self._next_batch
+
+    def _batch_units(self, batch: Tuple[int, int]) -> List[int]:
+        offset, nbytes = batch
+        return list(range(offset, offset + nbytes, self.unit_size))
+
+    def completed_units(self) -> List[int]:
+        """Unit offsets whose copy has fully landed on every target.
+
+        The batch currently in flight is *not* counted: its write fan-out
+        may be partial, so after an abort those units must be re-destaged.
+        """
+        upto = self._next_batch - (1 if self._in_flight else 0)
+        units: List[int] = []
+        for batch in self._batches[:upto]:
+            units.extend(self._batch_units(batch))
+        return units
+
+    def remaining_units(self) -> List[int]:
+        """Unit offsets not yet safely destaged (includes any in-flight batch)."""
+        start = self._next_batch - (1 if self._in_flight else 0)
+        units: List[int] = []
+        for batch in self._batches[start:]:
+            units.extend(self._batch_units(batch))
+        return units
+
+    def abort(self) -> None:
+        """Stop the process without running ``on_complete``.
+
+        Used when a participating disk fails mid-cycle.  In-flight disk ops
+        are left to complete (their effects are dropped); the caller decides
+        what to do with :meth:`remaining_units`.  Idempotent.
+        """
+        if self.done:
+            return
+        self.aborted = True
+        self.finished_at = self.sim.now
+        self._detach()
 
     def start(self) -> None:
         """Begin pumping.  Completes immediately when there is nothing to do."""
@@ -163,6 +201,8 @@ class DestageProcess:
         )
 
     def _read_done(self, op: DiskOp) -> None:
+        if self.aborted:
+            return
         offset, nbytes = op.tag
         self._writes_outstanding = len(self.targets)
         for target in self.targets:
@@ -179,6 +219,8 @@ class DestageProcess:
 
     def _write_done(self, op: DiskOp) -> None:
         self._writes_outstanding -= 1
+        if self.aborted:
+            return
         if self._writes_outstanding > 0:
             return
         self.bytes_moved += int(op.tag)

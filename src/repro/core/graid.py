@@ -45,8 +45,10 @@ class GraidController(Controller):
         self._mode = _Mode.LOGGING
         self._dirty: List[Set[int]] = [set() for _ in range(n)]
         self._active_processes = 0
+        self._processes: Dict[int, DestageProcess] = {}
         self._epoch = 0
         self._reclaim_limit = 0
+        self._log_failed = False
         self._draining = False
         self._cycle = CycleWindow(
             logging_start=self.sim.now,
@@ -66,13 +68,24 @@ class GraidController(Controller):
     def dirty_units_total(self) -> int:
         return sum(len(units) for units in self._dirty)
 
+    def _destageable_dirty(self) -> int:
+        """Dirty units on pairs that can actually destage right now."""
+        return sum(
+            len(self._dirty[pair])
+            for pair in range(self.config.n_pairs)
+            if not self._pair_degraded(pair)
+        )
+
     # ------------------------------------------------------------------
     def submit(self, request: IORequest) -> None:
         segments = self.layout.map_extent(request.offset, request.nbytes)
+        oracle = self.oracle
         if not request.is_write:
             for seg in segments:
+                primary = self.primaries[seg.pair]
                 self._issue(
-                    self.primaries[seg.pair],
+                    primary if not primary.failed
+                    else self._read_source(seg.pair),
                     OpKind.READ,
                     seg.disk_offset,
                     seg.nbytes,
@@ -81,50 +94,88 @@ class GraidController(Controller):
             request.seal(self.sim.now)
             return
 
-        # Primary copy always goes in place.
+        # Primary copy always goes in place; segments on degraded pairs
+        # write both surviving copies in place and bypass the log.
+        healthy = []
         for seg in segments:
-            self._issue(
-                self.primaries[seg.pair],
-                OpKind.WRITE,
-                seg.disk_offset,
-                seg.nbytes,
-                request=request,
-            )
-        if self.log_region.fits(request.nbytes):
-            # Logging continues during a destage period too — the headroom
-            # above the destage threshold exists precisely so user writes
-            # never wait for mirrors to spin up.
-            self._log_write(request, segments)
-        else:
-            # Log full: second copy in place.  Destaging from the primary
-            # afterwards is idempotent, so dirty state needs no adjustment.
-            for seg in segments:
+            if self._pair_degraded(seg.pair):
+                targets = self._write_targets(seg.pair)
+                for disk in targets:
+                    self._issue(
+                        disk,
+                        OpKind.WRITE,
+                        seg.disk_offset,
+                        seg.nbytes,
+                        request=request,
+                    )
+                if oracle is not None:
+                    oracle.note_segment_write(
+                        self, seg, [d.name for d in targets]
+                    )
+            else:
                 self._issue(
-                    self.mirrors[seg.pair],
+                    self.primaries[seg.pair],
                     OpKind.WRITE,
                     seg.disk_offset,
                     seg.nbytes,
                     request=request,
                 )
+                healthy.append(seg)
+        if healthy:
+            log_bytes = sum(seg.nbytes for seg in healthy)
+            if not self._log_failed and self.log_region.fits(log_bytes):
+                # Logging continues during a destage period too — the
+                # headroom above the destage threshold exists precisely so
+                # user writes never wait for mirrors to spin up.
+                self._log_write(request, healthy, log_bytes)
+            else:
+                # Log full (or lost): second copy in place.  Destaging from
+                # the primary afterwards is idempotent, so dirty state
+                # needs no adjustment.
+                for seg in healthy:
+                    self._issue(
+                        self.mirrors[seg.pair],
+                        OpKind.WRITE,
+                        seg.disk_offset,
+                        seg.nbytes,
+                        request=request,
+                    )
+                    if oracle is not None:
+                        oracle.note_segment_write(
+                            self,
+                            seg,
+                            [
+                                self.primaries[seg.pair].name,
+                                self.mirrors[seg.pair].name,
+                            ],
+                        )
         request.seal(self.sim.now)
 
-    def _log_write(self, request: IORequest, segments) -> None:
+    def _log_write(self, request: IORequest, segments, log_bytes: int) -> None:
         contributions: Dict[int, int] = {}
         for seg in segments:
             contributions[seg.pair] = (
                 contributions.get(seg.pair, 0) + seg.nbytes
             )
         offset = self.log_region.append(
-            request.nbytes, contributions, self._epoch
+            log_bytes, contributions, self._epoch
         )
-        self.metrics.logged_bytes += request.nbytes
-        for pair, unit in self.layout.units(request.offset, request.nbytes):
-            self._dirty[pair].add(unit)
+        self.metrics.logged_bytes += log_bytes
+        unit = self.layout.stripe_unit
+        for seg in segments:
+            self._dirty[seg.pair].add((seg.disk_offset // unit) * unit)
+        if self.oracle is not None:
+            for seg in segments:
+                self.oracle.note_segment_write(
+                    self,
+                    seg,
+                    [self.primaries[seg.pair].name, self.log_disk.name],
+                )
         self._issue(
             self.log_disk,
             OpKind.WRITE,
             offset,
-            request.nbytes,
+            log_bytes,
             request=request,
             sequential=True,
         )
@@ -156,7 +207,9 @@ class GraidController(Controller):
         self._active_processes = 0
         for pair in range(self.config.n_pairs):
             units = self._dirty[pair]
-            if not units:
+            if not units or self._pair_degraded(pair):
+                # A degraded pair keeps its log copies live and rejoins
+                # destaging once rebuilt.
                 continue
             self._dirty[pair] = set()
             process = DestageProcess(
@@ -169,16 +222,22 @@ class GraidController(Controller):
                 batch_bytes=self.config.destage_batch_bytes,
                 idle_gated=False,
                 idle_grace_s=0.0,
-                on_complete=self._process_done,
+                on_complete=lambda p, pair=pair: self._process_done(pair, p),
             )
             self._active_processes += 1
+            self._processes[pair] = process
             process.start()
         if self._active_processes == 0:
             self._end_destage()
 
-    def _process_done(self, process: DestageProcess) -> None:
+    def _process_done(self, pair: int, process: DestageProcess) -> None:
         self.metrics.destaged_bytes += process.bytes_moved
         self._active_processes -= 1
+        self._processes.pop(pair, None)
+        if self.oracle is not None:
+            self.oracle.note_destage(
+                pair, process.completed_units(), [self.mirrors[pair].name]
+            )
         if self.tracer is not None:
             self._trace_span(
                 "destage",
@@ -192,6 +251,10 @@ class GraidController(Controller):
     def _end_destage(self) -> None:
         now = self.sim.now
         for pair in range(self.config.n_pairs):
+            if self._pair_degraded(pair):
+                # Live log copies of a degraded pair may be its only
+                # surviving second copy — never reclaim them here.
+                continue
             self.log_region.reclaim(pair, self._reclaim_limit)
         self._cycle.destage_end = now
         self._cycle.energy_at_destage_end = self.total_energy_now()
@@ -206,10 +269,70 @@ class GraidController(Controller):
         for mirror in self.mirrors:
             self._sleep_when_quiet(mirror)
         # Writes that arrived during the destage may already have filled the
-        # log past the threshold again.
+        # log past the threshold again.  Only re-trigger when there is work
+        # a destage process can actually take on, otherwise a degraded pair
+        # whose backlog must wait for its rebuild would loop forever.
         threshold = self.config.destage_threshold * self.log_region.capacity
-        if self.log_region.used >= threshold or (
-            self._draining and self.dirty_units_total()
+        if self._destageable_dirty() and (
+            self.log_region.used >= threshold
+            or (self._draining and self.dirty_units_total())
+        ):
+            self._begin_destage()
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _on_disk_failed(self, disk: Disk, role: str, index: int) -> None:
+        if role == "log":
+            # Every logged second copy is gone; primaries still hold the
+            # data, so restore redundancy by destaging everything now and
+            # mirror in place until the log disk is rebuilt.
+            self._log_failed = True
+            self.log_region.reclaim_all()
+            if self._mode is _Mode.LOGGING and self._destageable_dirty():
+                self._begin_destage()
+            return
+        process = self._processes.pop(index, None)
+        if process is not None and not process.done:
+            completed = process.completed_units()
+            remaining = process.remaining_units()
+            process.abort()
+            self._active_processes -= 1
+            if completed and self.oracle is not None:
+                self.oracle.note_destage(
+                    index, completed, [self.mirrors[index].name]
+                )
+            self._dirty[index] |= set(remaining)
+            if self._active_processes == 0 and self._mode is _Mode.DESTAGING:
+                self._end_destage()
+
+    def _replace_disk(self, old: Disk, new: Disk) -> None:
+        if old is self.log_disk:
+            # disks_by_role builds the log list on the fly, so the generic
+            # in-list swap cannot reach it.
+            self.log_disk = new
+            return
+        super()._replace_disk(old, new)
+
+    def _on_rebuild_complete(self, old: Disk, new: Disk) -> None:
+        role, index = self._locate(new)
+        if role == "log":
+            self._log_failed = False
+            return
+        if role == "mirror":
+            # The rebuild copied the primary's full data region: nothing on
+            # this pair is stale and its log copies are redundant.
+            self._dirty[index].clear()
+            self.log_region.reclaim(index, self._epoch + 1)
+            if self._mode is _Mode.LOGGING:
+                self._sleep_when_quiet(new)
+            return
+        # Primary rebuilt: its backlog destages at the next threshold (or
+        # right away while draining).
+        if (
+            self._mode is _Mode.LOGGING
+            and self._draining
+            and self._destageable_dirty()
         ):
             self._begin_destage()
 
@@ -217,5 +340,5 @@ class GraidController(Controller):
     def drain(self) -> None:
         """Flush remaining dirty units (outside the measured window)."""
         self._draining = True
-        if self.dirty_units_total() and self._mode is _Mode.LOGGING:
+        if self._destageable_dirty() and self._mode is _Mode.LOGGING:
             self._begin_destage()

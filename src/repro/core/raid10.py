@@ -5,23 +5,23 @@ to both disks of the target pair; reads are balanced across the pair by
 queue depth.  This is the paper's energy/performance reference point — its
 spin up/down count is zero by construction (Table I).
 
-Degraded mode: after :meth:`fail_disk`, user I/O routes around the dead
-drive; :meth:`begin_rebuild` starts a background rebuild onto a fresh
-replacement while new writes are mirrored to it, and the replacement is
-swapped into the array when the rebuild completes.
+Degraded mode: after :meth:`~repro.core.base.Controller.fail_disk`, user
+I/O routes around the dead drive; ``begin_rebuild`` starts a background
+rebuild onto a fresh replacement while new writes are mirrored to it, and
+the replacement is swapped into the array when the rebuild completes.  All
+of that machinery lives on the :class:`~repro.core.base.Controller` base
+(every scheme shares it); RAID10 needs no scheme-specific reaction.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
-from repro.core.base import Controller
+# Re-exported for backward compatibility: DataLossError originated here
+# before fault handling was hoisted to the controller base.
+from repro.core.base import Controller, DataLossError  # noqa: F401
 from repro.disk.disk import Disk, OpKind
 from repro.raid.request import IORequest
-
-
-class DataLossError(RuntimeError):
-    """Both copies of a mirrored pair are gone."""
 
 
 class Raid10Controller(Controller):
@@ -35,89 +35,28 @@ class Raid10Controller(Controller):
         self.mirrors: List[Disk] = [
             self._make_disk(f"M{i}") for i in range(n)
         ]
-        #: failed disk -> in-progress replacement (None until rebuild).
-        self._rebuilding: Dict[Disk, Disk] = {}
 
     def disks_by_role(self) -> Dict[str, List[Disk]]:
         return {"primary": self.primaries, "mirror": self.mirrors}
 
     # ------------------------------------------------------------------
-    # Degraded-mode operation
-    # ------------------------------------------------------------------
-    def fail_disk(self, disk: Disk) -> None:
-        """Inject a fail-stop failure; subsequent I/O routes around it."""
-        disk.fail()
-
-    def begin_rebuild(
-        self,
-        disk: Disk,
-        on_complete: Optional[Callable[[], None]] = None,
-    ):
-        """Rebuild a failed disk onto a fresh replacement, online.
-
-        New writes are mirrored to the replacement while the background
-        copy runs, so the replacement is fully consistent at swap time.
-        """
-        from repro.core.recovery import RecoveryProcess, plan_recovery
-
-        if not disk.failed:
-            raise ValueError(f"{disk.name} has not failed")
-        if disk in self._rebuilding:
-            raise ValueError(f"{disk.name} is already rebuilding")
-        plan = plan_recovery(self, disk)
-
-        def _swap(process: RecoveryProcess) -> None:
-            replacement = process.replacement
-            for disks in (self.primaries, self.mirrors):
-                for index, candidate in enumerate(disks):
-                    if candidate is disk:
-                        disks[index] = replacement
-            del self._rebuilding[disk]
-            if on_complete is not None:
-                on_complete()
-
-        process = RecoveryProcess(
-            self.sim, self, plan, on_complete=_swap
-        )
-        self._rebuilding[disk] = process.replacement
-        process.start()
-        return process
-
-    def _write_targets(self, pair: int) -> List[Disk]:
-        targets: List[Disk] = []
-        for disk in (self.primaries[pair], self.mirrors[pair]):
-            if disk.failed:
-                replacement = self._rebuilding.get(disk)
-                if replacement is not None:
-                    targets.append(replacement)
-            else:
-                targets.append(disk)
-        if not targets:
-            raise DataLossError(f"pair {pair} has lost both copies")
-        return targets
-
-    def _read_source(self, pair: int) -> Disk:
-        alive = [
-            d
-            for d in (self.primaries[pair], self.mirrors[pair])
-            if not d.failed
-        ]
-        if not alive:
-            raise DataLossError(f"pair {pair} has lost both copies")
-        return min(alive, key=lambda d: d.queue_depth)
-
-    # ------------------------------------------------------------------
     def submit(self, request: IORequest) -> None:
         segments = self.layout.map_extent(request.offset, request.nbytes)
+        oracle = self.oracle
         if request.is_write:
             for seg in segments:
-                for disk in self._write_targets(seg.pair):
+                targets = self._write_targets(seg.pair)
+                for disk in targets:
                     self._issue(
                         disk,
                         OpKind.WRITE,
                         seg.disk_offset,
                         seg.nbytes,
                         request=request,
+                    )
+                if oracle is not None:
+                    oracle.note_segment_write(
+                        self, seg, [d.name for d in targets]
                     )
         else:
             for seg in segments:

@@ -76,7 +76,11 @@ def plan_recovery(controller: Controller, failed: Disk) -> RecoveryPlan:
     mirrors = getattr(controller, "mirrors", [])
 
     def sleeping(disks: List[Disk]) -> List[Disk]:
-        return [d for d in disks if not d.state.spun_up and d is not failed]
+        return [
+            d
+            for d in disks
+            if not d.state.spun_up and not d.failed and d is not failed
+        ]
 
     if scheme == "RAID10":
         partner = mirrors[index] if role == "primary" else primaries[index]
@@ -130,20 +134,10 @@ def plan_recovery(controller: Controller, failed: Disk) -> RecoveryPlan:
                 scheme, failed.name, role, mirrors[index], wake, rebuild
             )
         # Mirror failure.  If it was on duty, rotate the logging service to
-        # the next candidate so logging never stops (§III-D).
-        continues = True
-        if index in controller._on_duty:
-            slot = controller._on_duty.index(index)
-            candidate = controller._policy.peek_next(
-                index, excluded=controller._on_duty
-            )
-            if candidate is not None:
-                controller._on_duty[slot] = candidate
-                controller._previous_duty[slot] = None
-                controller.mirrors[candidate].request_spin_up()
-                controller.metrics.rotations += 1
-            else:
-                continues = False
+        # the next candidate so logging never stops (§III-D).  The hand-off
+        # is idempotent, so when the failure arrived through
+        # ``Controller.fail_disk`` (which already rotated) this is a no-op.
+        continues = controller._handoff_duty(index)
         return RecoveryPlan(
             scheme,
             failed.name,
@@ -191,9 +185,7 @@ class RecoveryProcess:
         self.finished_at: float = -1.0
         for disk in plan.wake:
             disk.request_spin_up()
-        self.replacement = Disk(
-            sim, controller.config.disk, f"{plan.failed_disk}-new"
-        )
+        self.replacement = controller._make_disk(f"{plan.failed_disk}-new")
         unit = controller.config.stripe_unit
         n_units = max(1, plan.rebuild_bytes // unit)
         self._process = DestageProcess(

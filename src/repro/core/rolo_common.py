@@ -14,14 +14,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.core.base import Controller
-from repro.core.config import ArrayConfig
 from repro.core.destage import DestageProcess
 from repro.core.logspace import LogRegion
 from repro.core.metrics import CycleWindow
 from repro.core.rotation import RotationPolicy
 from repro.disk.disk import Disk, OpKind
 from repro.raid.request import IORequest
-from repro.sim.engine import Simulator
 
 
 class RotatedLoggingController(Controller):
@@ -29,14 +27,6 @@ class RotatedLoggingController(Controller):
 
     #: RoLo-R overrides this to mirror each log append onto the primary.
     log_to_primary_too = False
-
-    def __init__(
-        self,
-        sim: Simulator,
-        config: ArrayConfig,
-        tracer: object = None,
-    ) -> None:
-        super().__init__(sim, config, tracer=tracer)
 
     # ------------------------------------------------------------------
     def _build_disks(self) -> None:
@@ -99,10 +89,13 @@ class RotatedLoggingController(Controller):
     # ------------------------------------------------------------------
     def submit(self, request: IORequest) -> None:
         segments = self.layout.map_extent(request.offset, request.nbytes)
+        oracle = self.oracle
         if not request.is_write:
             for seg in segments:
+                primary = self.primaries[seg.pair]
                 self._issue(
-                    self.primaries[seg.pair],
+                    primary if not primary.failed
+                    else self._read_source(seg.pair),
                     OpKind.READ,
                     seg.disk_offset,
                     seg.nbytes,
@@ -111,17 +104,41 @@ class RotatedLoggingController(Controller):
             request.seal(self.sim.now)
             return
 
+        # Segments on degraded pairs bypass logging entirely: both
+        # surviving copies (plus any rebuild replacement) are written in
+        # place, so the pair never depends on the logging service while a
+        # disk is down.  Healthy segments take the normal logged path.
+        healthy = []
         for seg in segments:
-            self._issue(
-                self.primaries[seg.pair],
-                OpKind.WRITE,
-                seg.disk_offset,
-                seg.nbytes,
-                request=request,
-            )
+            if self._pair_degraded(seg.pair):
+                targets = self._write_targets(seg.pair)
+                for disk in targets:
+                    self._issue(
+                        disk,
+                        OpKind.WRITE,
+                        seg.disk_offset,
+                        seg.nbytes,
+                        request=request,
+                    )
+                if oracle is not None:
+                    oracle.note_segment_write(
+                        self, seg, [d.name for d in targets]
+                    )
+            else:
+                self._issue(
+                    self.primaries[seg.pair],
+                    OpKind.WRITE,
+                    seg.disk_offset,
+                    seg.nbytes,
+                    request=request,
+                )
+                healthy.append(seg)
+        if not healthy:
+            request.seal(self.sim.now)
+            return
         if self._deactivated:
             # RoLo de-activated (§III-E): mirror copies go in place.
-            for seg in segments:
+            for seg in healthy:
                 self._issue(
                     self.mirrors[seg.pair],
                     OpKind.WRITE,
@@ -129,15 +146,25 @@ class RotatedLoggingController(Controller):
                     seg.nbytes,
                     request=request,
                 )
+                if oracle is not None:
+                    oracle.note_segment_write(
+                        self,
+                        seg,
+                        [
+                            self.primaries[seg.pair].name,
+                            self.mirrors[seg.pair].name,
+                        ],
+                    )
             request.seal(self.sim.now)
             return
 
+        log_bytes = sum(seg.nbytes for seg in healthy)
         slot = self._duty_rr % len(self._on_duty)
         self._duty_rr += 1
-        target = self._append_target(slot, request.nbytes)
+        target = self._append_target(slot, log_bytes)
         if target is None:
             # Nowhere to log this request; fall back to in-place mirroring.
-            for seg in segments:
+            for seg in healthy:
                 self._issue(
                     self.mirrors[seg.pair],
                     OpKind.WRITE,
@@ -145,40 +172,58 @@ class RotatedLoggingController(Controller):
                     seg.nbytes,
                     request=request,
                 )
+                if oracle is not None:
+                    oracle.note_segment_write(
+                        self,
+                        seg,
+                        [
+                            self.primaries[seg.pair].name,
+                            self.mirrors[seg.pair].name,
+                        ],
+                    )
             request.seal(self.sim.now)
             return
 
         contributions: Dict[int, int] = {}
-        for seg in segments:
+        for seg in healthy:
             contributions[seg.pair] = (
                 contributions.get(seg.pair, 0) + seg.nbytes
             )
         offset = self.mirror_logs[target].append(
-            request.nbytes, contributions, self._epoch
+            log_bytes, contributions, self._epoch
         )
-        self.metrics.logged_bytes += request.nbytes
+        self.metrics.logged_bytes += log_bytes
         self._issue(
             self.mirrors[target],
             OpKind.WRITE,
             offset,
-            request.nbytes,
+            log_bytes,
             request=request,
             sequential=True,
         )
         if self.log_to_primary_too:
             p_offset = self.primary_logs[target].append(
-                request.nbytes, contributions, self._epoch
+                log_bytes, contributions, self._epoch
             )
             self._issue(
                 self.primaries[target],
                 OpKind.WRITE,
                 p_offset,
-                request.nbytes,
+                log_bytes,
                 request=request,
                 sequential=True,
             )
-        for pair, unit in self.layout.units(request.offset, request.nbytes):
-            self._dirty[pair].add(unit)
+        unit = self.layout.stripe_unit
+        for seg in healthy:
+            self._dirty[seg.pair].add((seg.disk_offset // unit) * unit)
+        if oracle is not None:
+            copies = [self.mirrors[target].name]
+            if self.log_to_primary_too:
+                copies.append(self.primaries[target].name)
+            for seg in healthy:
+                oracle.note_segment_write(
+                    self, seg, [self.primaries[seg.pair].name] + copies
+                )
         request.seal(self.sim.now)
 
         if self.tracer is not None:
@@ -196,11 +241,25 @@ class RotatedLoggingController(Controller):
         ):
             self._prewake(target)
 
+    def _rotation_excluded(self) -> Set[int]:
+        """Mirror indexes that cannot (or must not) become the logger:
+        the current duty set, failed mirrors, and — when the scheme keeps
+        a third copy on the duty primary — pairs whose primary is down."""
+        excluded = set(self._on_duty)
+        for index in range(self.config.n_pairs):
+            if self.mirrors[index].failed or (
+                self.log_to_primary_too and self.primaries[index].failed
+            ):
+                excluded.add(index)
+        return excluded
+
     def _prewake(self, current: int) -> None:
         """Spin up the next rotation candidate ahead of need."""
         if self._prewoken:
             return
-        candidate = self._policy.peek_next(current, excluded=self._on_duty)
+        candidate = self._policy.peek_next(
+            current, excluded=self._rotation_excluded()
+        )
         if candidate is None:
             return
         self._prewoken = True
@@ -213,12 +272,26 @@ class RotatedLoggingController(Controller):
                 return slot
         return None
 
+    def _log_target_ok(self, index: int, nbytes: int) -> bool:
+        """Can mirror ``index`` absorb a log append of ``nbytes``?"""
+        if self.mirrors[index].failed:
+            return False
+        if not self.mirror_logs[index].fits(nbytes):
+            return False
+        if self.log_to_primary_too and (
+            self.primaries[index].failed
+            or not self.primary_logs[index].fits(nbytes)
+        ):
+            return False
+        return True
+
     def _append_target(self, slot: int, nbytes: int) -> Optional[int]:
         """Mirror index that should receive this append.
 
         While the newly rotated-to disk is still spinning up, appends stay
         on the previous on-duty disk as long as it has room, so rotation
-        does not stall foreground writes behind a spin-up.
+        does not stall foreground writes behind a spin-up.  Failed disks
+        are never valid targets.
         """
         current = self._on_duty[slot]
         previous = self._previous_duty[slot]
@@ -227,26 +300,12 @@ class RotatedLoggingController(Controller):
             not current_up
             and previous is not None
             and self.mirrors[previous].state.spun_up
-            and self.mirror_logs[previous].fits(nbytes)
-            and (
-                not self.log_to_primary_too
-                or self.primary_logs[previous].fits(nbytes)
-            )
+            and self._log_target_ok(previous, nbytes)
         ):
             return previous
-        if self.mirror_logs[current].fits(nbytes) and (
-            not self.log_to_primary_too
-            or self.primary_logs[current].fits(nbytes)
-        ):
+        if self._log_target_ok(current, nbytes):
             return current
-        if (
-            previous is not None
-            and self.mirror_logs[previous].fits(nbytes)
-            and (
-                not self.log_to_primary_too
-                or self.primary_logs[previous].fits(nbytes)
-            )
-        ):
+        if previous is not None and self._log_target_ok(previous, nbytes):
             return previous
         return None
 
@@ -256,7 +315,7 @@ class RotatedLoggingController(Controller):
     def _rotate(self, slot: int) -> None:
         current = self._on_duty[slot]
         candidate = self._policy.next_logger(
-            current, excluded=self._on_duty
+            current, excluded=self._rotation_excluded()
         )
         if candidate is None:
             self._deactivate()
@@ -314,6 +373,16 @@ class RotatedLoggingController(Controller):
         # drain flush also covers current-epoch writes, so its reclaim
         # boundary must include the current epoch.
         epoch_limit = self._epoch + 1 if self._draining else self._epoch
+        if self._pair_degraded(pair):
+            # The pair cannot destage (source or target is down) and its
+            # log copies must stay live; everything waits for the rebuild.
+            self._pending_destage[pair] = units
+            if window is not None:
+                window.destage_end = self.sim.now
+                window.energy_at_destage_end = self.total_energy_now()
+                self.metrics.cycles.append(window)
+                self._trace_cycle(window)
+            return
         if not units:
             # Nothing to destage: the pair's older log space is already
             # reclaimable.
@@ -352,6 +421,10 @@ class RotatedLoggingController(Controller):
         self.metrics.destaged_bytes += process.bytes_moved
         self.metrics.destage_cycles += 1
         self._active_process[pair] = None
+        if self.oracle is not None:
+            self.oracle.note_destage(
+                pair, process.completed_units(), [self.mirrors[pair].name]
+            )
         if self.tracer is not None:
             self._trace_span(
                 "destage",
@@ -387,6 +460,84 @@ class RotatedLoggingController(Controller):
         if self.log_to_primary_too:
             for region in self.primary_logs:
                 region.reclaim(pair, epoch_limit)
+
+    # ------------------------------------------------------------------
+    # Fault handling (§III-D: logging service continuity)
+    # ------------------------------------------------------------------
+    def _handoff_duty(self, index: int) -> bool:
+        """Hand the logging duty held by mirror ``index`` to the next
+        healthy off-duty candidate.  Returns False when no candidate is
+        left (the caller falls back to deactivation).  Idempotent: a
+        mirror that is no longer on duty needs no hand-off.
+        """
+        slot = self._slot_of(index)
+        if slot is None:
+            return True
+        candidate = self._policy.peek_next(
+            index, excluded=self._rotation_excluded()
+        )
+        if candidate is None:
+            return False
+        self._on_duty[slot] = candidate
+        self._previous_duty[slot] = None
+        self._cancel_sleep(self.mirrors[candidate])
+        self.mirrors[candidate].request_spin_up()
+        self.metrics.rotations += 1
+        self._trace_instant(
+            "rotation",
+            "duty-handoff",
+            slot=slot,
+            from_mirror=index,
+            to_mirror=candidate,
+        )
+        return True
+
+    def _on_disk_failed(self, disk: Disk, role: str, index: int) -> None:
+        # Stop the pair's destage: its source or target just died.  Units
+        # already copied in full batches are safe; the rest wait for the
+        # rebuild (their log copies stay live because reclaim only runs on
+        # process completion).
+        process = self._active_process[index]
+        if process is not None and not process.done:
+            completed = process.completed_units()
+            remaining = process.remaining_units()
+            process.abort()
+            self._active_process[index] = None
+            if completed and self.oracle is not None:
+                self.oracle.note_destage(
+                    index, completed, [self.mirrors[index].name]
+                )
+            self._pending_destage[index] |= set(remaining)
+        # A failed on-duty logger (or, for RoLo-R, a failed duty primary
+        # holding third copies) hands the logging service off immediately.
+        needs_handoff = role == "mirror" or (
+            role == "primary" and self.log_to_primary_too
+        )
+        if needs_handoff and not self._handoff_duty(index):
+            self._deactivate()
+
+    def _on_rebuild_complete(self, old: Disk, new: Disk) -> None:
+        role, index = self._locate(new)
+        if role == "mirror":
+            # The rebuild streamed the primary's full data region onto the
+            # replacement, so nothing is stale any more; the pair's log
+            # copies are redundant and its backlog is moot.
+            self._dirty[index].clear()
+            self._pending_destage[index].clear()
+            self._reclaim(index, self._epoch + 1)
+            if index not in self._on_duty:
+                self._sleep_when_quiet(new)
+            return
+        # Primary rebuilt (from its mirror plus live log copies): resume
+        # the destage backlog that waited out the outage.
+        if self._draining:
+            self._pending_destage[index] |= self._dirty[index]
+            self._dirty[index] = set()
+        if (
+            self._active_process[index] is None
+            and self._pending_destage[index]
+        ):
+            self._launch_process(index, None)
 
     # ------------------------------------------------------------------
     # Deactivation fallback (§III-E)

@@ -59,7 +59,9 @@ class RoloEController(Controller):
         self._mode = _Mode.LOGGING
         self._dirty: List[Set[int]] = [set() for _ in range(n)]
         self._active_processes = 0
+        self._processes: Dict[int, DestageProcess] = {}
         self._rr = 0
+        self._draining = False
         cache_capacity = 0
         if cfg.read_cache:
             cache_capacity = int(
@@ -127,25 +129,32 @@ class RoloEController(Controller):
 
     def _submit_write(self, request: IORequest) -> None:
         segments = self.layout.map_extent(request.offset, request.nbytes)
+        oracle = self.oracle
         p_log = self.primary_logs[self._duty_pair]
         m_log = self.mirror_logs[self._duty_pair]
+        p_disk, m_disk = self._duty_disks()
         can_log = (
             self._mode is not _Mode.DESTAGING
+            and not p_disk.failed
+            and not m_disk.failed
             and p_log.fits(request.nbytes)
             and m_log.fits(request.nbytes)
         )
         if not can_log:
-            # Destaging in progress or log full: write in place to both
-            # home disks (they are up, or the submit wakes them).
+            # Destaging in progress, log full, or the duty pair lost a
+            # disk: write in place to both surviving home copies (they are
+            # up, or the submit wakes them).
             for seg in segments:
-                self._issue(
-                    self.primaries[seg.pair], OpKind.WRITE,
-                    seg.disk_offset, seg.nbytes, request=request,
-                )
-                self._issue(
-                    self.mirrors[seg.pair], OpKind.WRITE,
-                    seg.disk_offset, seg.nbytes, request=request,
-                )
+                targets = self._write_targets(seg.pair)
+                for disk in targets:
+                    self._issue(
+                        disk, OpKind.WRITE,
+                        seg.disk_offset, seg.nbytes, request=request,
+                    )
+                if oracle is not None:
+                    oracle.note_segment_write(
+                        self, seg, [d.name for d in targets]
+                    )
             request.seal(self.sim.now)
             if self._mode is _Mode.LOGGING:
                 self._begin_destage()
@@ -156,7 +165,6 @@ class RoloEController(Controller):
             contributions[seg.pair] = (
                 contributions.get(seg.pair, 0) + seg.nbytes
             )
-        p_disk, m_disk = self._duty_disks()
         p_offset = p_log.append(request.nbytes, contributions, 0)
         m_offset = m_log.append(request.nbytes, contributions, 0)
         self.metrics.logged_bytes += 2 * request.nbytes
@@ -168,8 +176,13 @@ class RoloEController(Controller):
             m_disk, OpKind.WRITE, m_offset, request.nbytes,
             request=request, sequential=True,
         )
-        for pair, unit in self.layout.units(request.offset, request.nbytes):
-            self._dirty[pair].add(unit)
+        unit = self.config.stripe_unit
+        for seg in segments:
+            self._dirty[seg.pair].add((seg.disk_offset // unit) * unit)
+            if oracle is not None:
+                oracle.note_segment_write(
+                    self, seg, [p_disk.name, m_disk.name]
+                )
         request.seal(self.sim.now)
         if self.tracer is not None:
             self._trace_occupancy(p_log)
@@ -186,8 +199,11 @@ class RoloEController(Controller):
         if self._mode is _Mode.DESTAGING:
             # Everything is spinning; serve in place.
             for seg in segments:
+                primary = self.primaries[seg.pair]
                 self._issue(
-                    self.primaries[seg.pair], OpKind.READ,
+                    primary if not primary.failed
+                    else self._read_source(seg.pair),
+                    OpKind.READ,
                     seg.disk_offset, seg.nbytes, request=request,
                 )
             request.seal(self.sim.now)
@@ -196,19 +212,30 @@ class RoloEController(Controller):
         for seg in segments:
             if self._segment_hit(seg):
                 self.metrics.read_hits += 1
-                disk = (
-                    p_disk
-                    if p_disk.queue_depth <= m_disk.queue_depth
-                    else m_disk
-                )
+                if p_disk.failed:
+                    disk = (
+                        m_disk if not m_disk.failed
+                        else self._read_source(seg.pair)
+                    )
+                elif m_disk.failed:
+                    disk = p_disk
+                else:
+                    disk = (
+                        p_disk
+                        if p_disk.queue_depth <= m_disk.queue_depth
+                        else m_disk
+                    )
                 self._issue(
                     disk, OpKind.READ, seg.disk_offset, seg.nbytes,
                     request=request,
                 )
             else:
                 self.metrics.read_misses += 1
+                primary = self.primaries[seg.pair]
                 self._issue(
-                    self.primaries[seg.pair], OpKind.READ,
+                    primary if not primary.failed
+                    else self._read_source(seg.pair),
+                    OpKind.READ,
                     seg.disk_offset, seg.nbytes, request=request,
                 )
                 self._cache_fill(seg)
@@ -244,6 +271,8 @@ class RoloEController(Controller):
             else self.mirror_logs[self._duty_pair]
         )
         disk = self._duty_disks()[0 if use_primary else 1]
+        if disk.failed:
+            return
         first = (seg.disk_offset // unit) * unit
         last = ((seg.end_offset - 1) // unit) * unit
         for base in range(first, last + 1, unit):
@@ -295,7 +324,11 @@ class RoloEController(Controller):
         Logging continues into the headroom above the destage threshold
         during this window, so the snapshot taken below also covers writes
         that arrived while the array was waking."""
-        if not all(d.state.spun_up for d in self.primaries + self.mirrors):
+        if not all(
+            d.state.spun_up
+            for d in self.primaries + self.mirrors
+            if not d.failed
+        ):
             self.sim.schedule(0.5, self._poll_spun_up, label="rolo-e:poll")
             return
         self._start_destage_processes()
@@ -310,14 +343,17 @@ class RoloEController(Controller):
                 continue
             self._dirty[pair] = set()
             self._rr += 1
-            source = p_disk if self._rr % 2 == 0 else m_disk
-            targets = [self.primaries[pair], self.mirrors[pair]]
-            if source in targets:
-                source = m_disk if source is p_disk else p_disk
-                if source in targets:
-                    # Destaging the duty pair itself: copy mirror->primary.
-                    source = m_disk
-                    targets = [self.primaries[pair]]
+            if pair == self._duty_pair:
+                # Destaging the duty pair itself: copy the mirror's log
+                # copy into BOTH home locations — the logging space is
+                # reset below, so a home copy left stale here would leave
+                # the pair with a single live copy.
+                source = m_disk if not m_disk.failed else p_disk
+            else:
+                source = p_disk if self._rr % 2 == 0 else m_disk
+                if source.failed:
+                    source = m_disk if source is p_disk else p_disk
+            targets = self._write_targets(pair)
             process = DestageProcess(
                 self.sim,
                 name=f"rolo-e-destage-{pair}",
@@ -328,16 +364,24 @@ class RoloEController(Controller):
                 batch_bytes=self.config.destage_batch_bytes,
                 idle_gated=False,
                 idle_grace_s=0.0,
-                on_complete=self._process_done,
+                on_complete=lambda p, pair=pair: self._process_done(pair, p),
             )
             self._active_processes += 1
+            self._processes[pair] = process
             process.start()
         if self._active_processes == 0:
             self._end_destage()
 
-    def _process_done(self, process: DestageProcess) -> None:
+    def _process_done(self, pair: int, process: DestageProcess) -> None:
         self.metrics.destaged_bytes += process.bytes_moved
         self._active_processes -= 1
+        self._processes.pop(pair, None)
+        if self.oracle is not None:
+            self.oracle.note_destage(
+                pair,
+                process.completed_units(),
+                [t.name for t in process.targets],
+            )
         if self.tracer is not None:
             self._trace_span(
                 "destage",
@@ -350,9 +394,13 @@ class RoloEController(Controller):
 
     def _end_destage(self) -> None:
         now = self.sim.now
-        for region in self.primary_logs + self.mirror_logs:
-            region.reset()
-        self._cache.clear()
+        if self.dirty_units_total() == 0:
+            for region in self.primary_logs + self.mirror_logs:
+                region.reset()
+            self._cache.clear()
+        # else: a degraded pair's destage was aborted and its only second
+        # copies still live in the logging space — keep every region intact
+        # until a later destage empties the backlog.
         self._cycle.destage_end = now
         self._cycle.energy_at_destage_end = self.total_energy_now()
         self.metrics.cycles.append(self._cycle)
@@ -363,7 +411,12 @@ class RoloEController(Controller):
             energy_at_logging_start=self.total_energy_now(),
         )
         previous = self._duty_pair
-        self._duty_pair = (self._duty_pair + 1) % self.config.n_pairs
+        n = self.config.n_pairs
+        for step in range(1, n + 1):
+            candidate = (previous + step) % n
+            if not self._pair_degraded(candidate):
+                break
+        self._duty_pair = candidate
         self.metrics.rotations += 1
         self._trace_instant(
             "rotation",
@@ -377,6 +430,58 @@ class RoloEController(Controller):
             if disk not in duty:
                 self._sleep_when_quiet(disk)
 
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _on_disk_failed(self, disk: Disk, role: str, index: int) -> None:
+        timer = self._sleep_timers.get(disk)
+        if timer is not None:
+            timer.cancel()
+        if self._mode is _Mode.DESTAGING:
+            for pair, process in list(sorted(self._processes.items())):
+                if disk is not process.source and disk not in process.targets:
+                    continue
+                completed = process.completed_units()
+                remaining = process.remaining_units()
+                process.abort()
+                del self._processes[pair]
+                self._active_processes -= 1
+                if completed and self.oracle is not None:
+                    self.oracle.note_destage(
+                        pair,
+                        completed,
+                        [t.name for t in process.targets],
+                    )
+                self._dirty[pair] |= set(remaining)
+            if self._active_processes == 0:
+                self._end_destage()
+            return
+        if self._is_on_duty(disk) and self._mode is _Mode.LOGGING:
+            # The surviving duty disk still holds a full set of logged
+            # copies (RoLo-E double-logs); flush them home before more
+            # state accumulates on a single spindle.
+            self._begin_destage()
+
+    def _on_rebuild_complete(self, old: Disk, new: Disk) -> None:
+        timer = self._sleep_timers.pop(old, None)
+        if timer is not None:
+            timer.cancel()
+        self._sleep_timers[new] = Timer(
+            self.sim,
+            self.config.standby_return_s,
+            lambda d=new: self._sleep_timer_fired(d),
+        )
+        new.add_idle_listener(self._disk_idle)
+        if (
+            self._draining
+            and self._mode is _Mode.LOGGING
+            and self.dirty_units_total()
+        ):
+            self._begin_destage()
+        elif not self._is_on_duty(new) and self._mode is not _Mode.DESTAGING:
+            self._sleep_when_quiet(new)
+
     def drain(self) -> None:
+        self._draining = True
         if self.dirty_units_total() and self._mode is _Mode.LOGGING:
             self._begin_destage()

@@ -149,6 +149,17 @@ class Disk:
         self._in_service: Optional[DiskOp] = None
         self._head_sector = 0
         self._wake_after_down = False
+        #: Transient service-time multiplier (>= 1.0 means degraded media
+        #: or recovering electronics); fault injection sets and restores it.
+        self.slowdown_factor = 1.0
+        #: Latent sector errors: [sector_start, sector_end) ranges that are
+        #: unreadable until surfaced by an overlapping READ.
+        self._latent_errors: List[tuple] = []
+        self.media_errors_surfaced = 0
+        #: ``callback(disk, sector, n_sectors)`` fires when a READ touches
+        #: a latent error range (after the op completes); the range is
+        #: removed first, modelling the drive remapping the sectors.
+        self.on_media_error: Optional[Callable[["Disk", int, int], None]] = None
         self._idle_listeners: List[Callable[["Disk"], None]] = []
         # Cumulative statistics.
         self.ops_completed = 0
@@ -287,6 +298,8 @@ class Disk:
             service = self.mechanics.service_time(
                 self._head_sector, op.sector, op.nbytes
             )
+        if self.slowdown_factor != 1.0:
+            service *= self.slowdown_factor
         self.sim.schedule(service, self._complete, op, label=f"{self.name}:io")
 
     def _complete(self, op: DiskOp) -> None:
@@ -301,6 +314,8 @@ class Disk:
             self.foreground_ops += 1
         else:
             self.background_ops += 1
+        if self._latent_errors and op.kind is OpKind.READ:
+            self._surface_latent_errors(op.sector, self._head_sector)
         if self.tracer is not None:
             self.tracer.disk_op(
                 self.name,
@@ -321,6 +336,37 @@ class Disk:
                 self.power.transition(now, PowerState.IDLE)
             self._idle_since = now
             self._notify_idle()
+
+    def inject_latent_error(self, sector: int, n_sectors: int) -> None:
+        """Mark ``[sector, sector + n_sectors)`` as latently unreadable.
+
+        The error stays silent until a READ overlaps the range; it is then
+        removed (the drive remaps the sectors) and ``on_media_error``
+        fires so the controller can schedule repair from a redundant copy.
+        """
+        if n_sectors <= 0:
+            raise ValueError("latent error needs a positive sector count")
+        self._latent_errors.append((sector, sector + n_sectors))
+
+    @property
+    def latent_error_count(self) -> int:
+        return len(self._latent_errors)
+
+    def _surface_latent_errors(self, start: int, end: int) -> None:
+        remaining = []
+        surfaced = []
+        for lo, hi in self._latent_errors:
+            if lo < end and start < hi:
+                surfaced.append((lo, hi))
+            else:
+                remaining.append((lo, hi))
+        if not surfaced:
+            return
+        self._latent_errors = remaining
+        for lo, hi in surfaced:
+            self.media_errors_surfaced += 1
+            if self.on_media_error is not None:
+                self.on_media_error(self, lo, hi - lo)
 
     def _notify_idle(self) -> None:
         if not self.is_quiet:
@@ -372,6 +418,8 @@ class Disk:
         )
 
     def _spin_up_done(self) -> None:
+        if self.failed:  # failed mid-transition; stay failed
+            return
         self.power.transition(self.sim.now, PowerState.IDLE)
         if self.queue_depth:
             self._try_start()
@@ -380,6 +428,8 @@ class Disk:
             self._notify_idle()
 
     def _spin_down_done(self) -> None:
+        if self.failed:
+            return
         self.power.transition(self.sim.now, PowerState.STANDBY)
         if self._wake_after_down or self.queue_depth:
             self._wake_after_down = False

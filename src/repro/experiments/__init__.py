@@ -33,6 +33,7 @@ from repro.experiments import (  # noqa: F401  (import for side effects)
     fig14,
     idleslots,
     raid5,
+    rebuild,
     recovery,
     sensitivity,
     tables,

@@ -154,6 +154,47 @@ class ResultCache:
         return path
 
     # ------------------------------------------------------------------
+    # Generic JSON payloads (fault campaigns and other non-RunMetrics
+    # results).  Same content-addressing and versioning rules; stored
+    # under a "payload" field so the RunMetrics entries stay distinct.
+    # ------------------------------------------------------------------
+    def get_payload(self, key: Any) -> Optional[Dict[str, Any]]:
+        """Cached raw payload for ``key``, or ``None`` on miss/stale."""
+        path = self._path(cell_hash(key))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            entry.get("schema_version") != CACHE_SCHEMA_VERSION
+            or entry.get("package_version") != __version__
+            or not isinstance(entry.get("payload"), dict)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put_payload(self, key: Any, payload: Dict[str, Any]) -> str:
+        """Persist a JSON-encodable payload dict under ``key``."""
+        key_hash = cell_hash(key)
+        path = self._path(key_hash)
+        entry = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "package_version": __version__,
+            "key_hash": key_hash,
+            "payload": payload,
+        }
+        os.makedirs(self.directory, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
     def _entries(self) -> Iterator[str]:
         try:
             names = os.listdir(self.directory)

@@ -1,0 +1,100 @@
+"""Extension experiment: online rebuild under foreground load.
+
+The §III-C recovery experiment measures rebuild in isolation; this one
+fails a disk *mid-replay* and lets the rebuild compete with the workload,
+reporting rebuild time, foreground response-time degradation versus the
+fault-free control run, and the consistency-oracle verdict.  The grid runs
+through :mod:`repro.faults.campaign`, so cells cache persistently and can
+fan out over a process pool (``--jobs``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.experiments.registry import register
+from repro.experiments.report import Report, Table
+from repro.experiments.runner import simulate_workload, workload_scale
+
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+
+
+@register(
+    "ext-rebuild-load",
+    "Online rebuild under load: MTTR and foreground impact (extension)",
+    "§III-C / §III-D",
+)
+def run(
+    scale: float = 0.02,
+    n_pairs: int = 4,
+    workload: str = "src2_2",
+    fault_time: float = 30.0,
+    disks: Iterable[str] = ("P0", "M0"),
+    seed: int = 42,
+    jobs: Optional[int] = 1,
+) -> Report:
+    # Imported lazily: repro.faults.campaign imports the experiments
+    # package, so a module-level import here would be circular.
+    from repro.faults.campaign import fault_cell, run_campaign
+    from repro.faults.schedule import FaultSchedule
+
+    report = Report("ext-rebuild-load", "Rebuild under foreground load")
+    scale = workload_scale(workload, scale)
+    report.parameters = {
+        "n_pairs": n_pairs,
+        "scale": scale,
+        "workload": workload,
+        "fault_time": fault_time,
+    }
+    table = report.add_table(
+        Table(
+            "online rebuild during replay",
+            [
+                "scheme",
+                "failed_disk",
+                "rebuild_time_s",
+                "resp_ms_faulted",
+                "resp_ms_clean",
+                "slowdown_pct",
+                "lost_blocks",
+            ],
+        )
+    )
+    cells = [
+        fault_cell(
+            scheme,
+            workload,
+            FaultSchedule.single_failure(disk, fault_time),
+            scale=scale,
+            n_pairs=n_pairs,
+            seed=seed,
+        )
+        for scheme in SCHEMES
+        for disk in disks
+    ]
+    results = run_campaign(cells, jobs=jobs or 1)
+    for cell, result in zip(cells, results):
+        clean = simulate_workload(
+            cell.base.scheme,
+            workload,
+            scale=scale,
+            n_pairs=n_pairs,
+            seed=seed,
+        )
+        faulted_ms = result.metrics.mean_response_time_ms
+        clean_ms = clean.mean_response_time_ms
+        slowdown = (
+            100.0 * (faulted_ms - clean_ms) / clean_ms if clean_ms else 0.0
+        )
+        table.add_row(
+            result.scheme,
+            result.schedule.split(":", 1)[1],
+            round(result.rebuilds[0]["rebuild_time"], 1)
+            if result.rebuilds
+            else None,
+            round(faulted_ms, 3),
+            round(clean_ms, 3),
+            round(slowdown, 1),
+            result.lost_blocks_total,
+        )
+    return report

@@ -1,0 +1,55 @@
+"""Fault injection: schedules, the injector, and the consistency oracle.
+
+Quick start::
+
+    from repro.core import ArrayConfig
+    from repro.faults import FaultSchedule, run_faulted
+    from repro.traces import build_workload_trace
+
+    schedule = FaultSchedule.parse("fail@40:M0")
+    result = run_faulted(
+        "rolo-p",
+        ArrayConfig(n_pairs=4).scaled(0.05),
+        build_workload_trace("src2_2", scale=0.05),
+        schedule,
+    )
+    assert result.consistent  # zero unrecoverable blocks
+
+See :mod:`repro.faults.campaign` for scheme x workload x fault-time grids
+with caching and process-pool fan-out, and ``rolo faults`` on the CLI.
+"""
+
+from repro.faults.campaign import (
+    FaultCell,
+    build_campaign,
+    campaign_summary,
+    fault_cell,
+    run_campaign,
+)
+from repro.faults.injector import FaultInjector, FaultRunResult, run_faulted
+from repro.faults.oracle import ConsistencyOracle, OracleCheck
+from repro.faults.schedule import (
+    DiskFailure,
+    FaultSchedule,
+    FaultScheduleError,
+    LatentSectorError,
+    Slowdown,
+)
+
+__all__ = [
+    "ConsistencyOracle",
+    "OracleCheck",
+    "DiskFailure",
+    "Slowdown",
+    "LatentSectorError",
+    "FaultSchedule",
+    "FaultScheduleError",
+    "FaultInjector",
+    "FaultRunResult",
+    "run_faulted",
+    "FaultCell",
+    "fault_cell",
+    "build_campaign",
+    "run_campaign",
+    "campaign_summary",
+]

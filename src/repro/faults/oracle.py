@@ -1,0 +1,166 @@
+"""Shadow block-store consistency oracle.
+
+The oracle mirrors every *acknowledged* logical write at stripe-unit
+granularity and tracks, for each unit, **where its latest contents live**.
+Controllers report three kinds of events:
+
+* ``note_segment_write`` — a write segment was acknowledged with copies on
+  the named disks (home copies and/or log copies);
+* ``note_destage`` — previously logged units were copied onto their home
+  disks;
+* ``note_rebuilt`` — a replacement disk now holds a full copy of a pair's
+  data.
+
+State per ``(pair, unit)`` is a list of CNF clauses, each a frozenset of
+disk names: the unit's latest contents are reconstructable iff *every*
+clause intersects the set of surviving (non-failed) disks.  A full-unit
+overwrite replaces the clause list (older copies are obsolete); a partial
+overwrite appends a clause (the old content under the new bytes is still
+needed, but so are the new bytes); a destage or rebuild unions the new
+holder into existing clauses (the data gained a copy, nothing was lost).
+
+The bookkeeping is exact under the single-fault scope this repo's
+campaigns exercise; log-space reclaim is deliberately *not* modeled
+because every controller destages (union) before it reclaims, so a clause
+can only over-approximate the surviving copies after a second fault.
+
+The oracle only observes: it never schedules events, issues I/O, or
+mutates controller state, so runs with an oracle attached are
+byte-identical to plain runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Tuple
+
+
+@dataclasses.dataclass
+class OracleCheck:
+    """Outcome of one consistency sweep (at fault time, post-rebuild...)."""
+
+    event: str
+    time: float
+    tracked_units: int
+    #: ``(pair, unit_base)`` of every unit whose latest contents cannot be
+    #: reconstructed from the surviving disks.  Empty == consistent.
+    lost: List[Tuple[int, int]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.lost
+
+    def to_dict(self) -> dict:
+        return {
+            "event": self.event,
+            "time": self.time,
+            "tracked_units": self.tracked_units,
+            "lost": [list(item) for item in self.lost],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OracleCheck":
+        return cls(
+            event=data["event"],
+            time=data["time"],
+            tracked_units=data["tracked_units"],
+            lost=[tuple(item) for item in data["lost"]],
+        )
+
+
+class ConsistencyOracle:
+    """Tracks reconstructability of every acknowledged write."""
+
+    def __init__(self) -> None:
+        self.controller = None
+        #: (pair, unit_base) -> CNF clauses over disk names.
+        self._clauses: Dict[Tuple[int, int], List[FrozenSet[str]]] = {}
+        self.checks: List[OracleCheck] = []
+
+    def attach(self, controller) -> None:
+        """Install this oracle on ``controller`` (sets ``.oracle``)."""
+        controller.oracle = self
+        self.controller = controller
+
+    # ------------------------------------------------------------------
+    # Write-path events (called by the controllers)
+    # ------------------------------------------------------------------
+    def note_segment_write(self, controller, seg, copies: List[str]) -> None:
+        """An acknowledged write segment landed on the named disks.
+
+        ``map_extent`` segments never cross stripe-unit boundaries, so a
+        segment covers exactly one unit, fully or partially.
+        """
+        unit = controller.layout.stripe_unit
+        base = (seg.disk_offset // unit) * unit
+        full = seg.disk_offset == base and seg.nbytes == unit
+        self.note_write(seg.pair, base, copies, full)
+
+    def note_write(
+        self, pair: int, base: int, copies: List[str], full: bool
+    ) -> None:
+        clause = frozenset(copies)
+        key = (pair, base)
+        if full or key not in self._clauses:
+            # Full overwrite: older copies of this unit are obsolete.
+            self._clauses[key] = [clause]
+        else:
+            # Partial overwrite: old content under the new bytes is still
+            # live, AND the new bytes are needed.
+            self._clauses[key].append(clause)
+
+    def note_destage(
+        self, pair: int, units: List[int], targets: List[str]
+    ) -> None:
+        """Logged units of ``pair`` were copied onto the target disks."""
+        names = frozenset(targets)
+        for base in units:
+            clauses = self._clauses.get((pair, base))
+            if clauses is None:
+                continue
+            self._clauses[(pair, base)] = [c | names for c in clauses]
+
+    def note_rebuilt(
+        self, role: str, index: int, replacement_name: str
+    ) -> None:
+        """A replacement for pair ``index``'s ``role`` disk is consistent."""
+        if role == "log":
+            return  # log disks hold copies already attributed by name
+        extra = frozenset((replacement_name,))
+        for key, clauses in self._clauses.items():
+            if key[0] != index:
+                continue
+            self._clauses[key] = [c | extra for c in clauses]
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    @property
+    def tracked_units(self) -> int:
+        return len(self._clauses)
+
+    def lost_blocks(self) -> List[Tuple[int, int]]:
+        """Units whose latest contents no surviving-disk set can rebuild."""
+        if self.controller is None:
+            return []
+        alive = {
+            d.name for d in self.controller.all_disks() if not d.failed
+        }
+        lost = []
+        for key in sorted(self._clauses):
+            for clause in self._clauses[key]:
+                if not (clause & alive):
+                    lost.append(key)
+                    break
+        return lost
+
+    def check(self, event: str) -> OracleCheck:
+        """Sweep all tracked units and record an :class:`OracleCheck`."""
+        report = OracleCheck(
+            event=event,
+            time=self.controller.sim.now if self.controller else 0.0,
+            tracked_units=self.tracked_units,
+            lost=self.lost_blocks(),
+        )
+        self.checks.append(report)
+        return report

@@ -132,6 +132,13 @@ class Tracer:
     ) -> None:
         """A sampled scalar (log occupancy, queue depth, ...)."""
 
+    # -- fault injection ---------------------------------------------------
+    def fault(self, name: str, track: str, ts: float, **attrs: Any) -> None:
+        """A fault-injection event (disk failure, slowdown, latent error,
+        rebuild milestones).  Default routes through :meth:`instant` under
+        the ``"fault"`` category so recorders need no extra handling."""
+        self.instant("fault", name, track, ts, **attrs)
+
     # ---------------------------------------------------------------------
     def finish(self, ts: float) -> None:
         """Close any open spans at the end of the run.  Idempotent."""

@@ -127,6 +127,35 @@ class Simulator:
         """Stop the run loop after the current event finishes."""
         self._stopped = True
 
+    def poll(
+        self,
+        interval: float,
+        predicate: Callable[[], bool],
+        action: Callable[[], None],
+        label: str = "poll",
+    ) -> None:
+        """Run ``action`` as soon as ``predicate`` holds, checking now and
+        then every ``interval`` seconds.
+
+        The check-and-reschedule happens inside scheduled events, so the
+        wait participates in normal FIFO tie-breaking and the simulation
+        stays deterministic.  The immediate check runs synchronously; only
+        re-checks consume events.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive poll interval {interval!r}")
+        if predicate():
+            action()
+            return
+
+        def _recheck() -> None:
+            if predicate():
+                action()
+            else:
+                self.schedule(interval, _recheck, label=label)
+
+        self.schedule(interval, _recheck, label=label)
+
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         while self._heap and self._heap[0].cancelled:
