@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick experiments figures clean
+.PHONY: install test bench bench-quick bench-micro experiments figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -6,11 +6,17 @@ install:
 test:
 	pytest tests/
 
+# Pinned macro benchmark suite: full matrix, gated against
+# benchmarks/baseline.json, report written to BENCH_4.json.
 bench:
-	pytest benchmarks/ --benchmark-only
+	python -m repro.cli bench
+
+# Reduced-scale suite (same gate); what CI runs.
+bench-quick:
+	python -m repro.cli bench --quick
 
 # Just the hot-path kernels: engine, disk, layout, log space.
-bench-quick:
+bench-micro:
 	pytest benchmarks/test_bench_micro.py --benchmark-only
 
 # Regenerate every paper artifact (slow: ~20 minutes at default scales).

@@ -1,122 +1,42 @@
 """Microbenchmarks of the simulator's hot paths.
 
-These are conventional pytest-benchmark kernels (many iterations) covering
-the engine, the disk server, the layout math and the log-space manager —
-the four components every simulated I/O touches.
+Thin pytest-benchmark wrappers around the kernels in :mod:`repro.bench` —
+the same module `rolo bench` uses — so there is a single source of perf
+truth: changing a kernel changes both the CI smoke numbers and the pinned
+suite, never one without the other.
 """
 
-import random
-
-from repro.core.logspace import LogRegion
-from repro.disk.disk import Disk, DiskOp, OpKind
-from repro.disk.models import ULTRASTAR_36Z15
-from repro.raid.layout import Raid10Layout
-from repro.sim import Simulator
-from repro.sim.engine import Timer
-
-KB = 1024
-MB = 1024 * KB
+from repro import bench
 
 
 def test_engine_event_throughput(benchmark):
     """Schedule + dispatch cost of the event heap."""
-
-    def run():
-        sim = Simulator()
-        count = 0
-
-        def tick():
-            nonlocal count
-            count += 1
-            if count < 10_000:
-                sim.schedule(0.001, tick)
-
-        sim.schedule(0.0, tick)
-        sim.run()
-        return count
-
-    assert benchmark(run) == 10_000
+    assert benchmark(bench.engine_event_kernel, 10_000) == 10_000
 
 
 def test_engine_timer_event_throughput(benchmark):
     """Events/sec through ``Simulator.run`` with ~1e5 timer-style events.
 
     Mirrors the idle-detection pattern the controllers lean on: every
-    event re-arms a :class:`Timer`, so the heap carries a cancelled entry
-    per live one and the run loop's lazy-deletion skip path is exercised
-    alongside plain dispatch.
+    event re-arms a :class:`~repro.sim.engine.Timer`, so cancelled heap
+    entries accumulate and the lazy-deletion skip path plus automatic
+    compaction are exercised alongside plain dispatch.
     """
-
     N = 100_000
-
-    def run():
-        sim = Simulator()
-        count = 0
-        fired = 0
-
-        def on_expire():
-            nonlocal fired
-            fired += 1
-
-        timer = Timer(sim, 1.0, on_expire)
-
-        def tick():
-            nonlocal count
-            count += 1
-            timer.arm()  # cancels the previous expiry, schedules a new one
-            if count < N:
-                sim.schedule(0.001, tick)
-
-        sim.schedule(0.0, tick)
-        sim.run()
-        return count + fired
-
-    assert benchmark(run) == N + 1  # only the last armed timer fires
+    total, peak_heap = benchmark(bench.timer_rearm_kernel, N)
+    assert total == N + 1  # only the last armed timer fires
+    # Compaction must keep the heap bounded despite N cancelled entries.
+    assert peak_heap < 5_000
 
 
 def test_disk_random_io_throughput(benchmark):
     """Full service path of random 64K writes on one disk."""
-    rng = random.Random(1)
-    sectors = ULTRASTAR_36Z15.capacity_sectors
-    offsets = [rng.randrange(sectors - 200) for _ in range(2_000)]
-
-    def run():
-        sim = Simulator()
-        disk = Disk(sim, ULTRASTAR_36Z15, "D")
-        for sector in offsets:
-            disk.submit(DiskOp(OpKind.WRITE, sector, 64 * KB))
-        sim.run()
-        return disk.ops_completed
-
-    assert benchmark(run) == 2_000
+    assert benchmark(bench.disk_random_io_kernel, 2_000) == 2_000
 
 
 def test_layout_mapping_throughput(benchmark):
-    layout = Raid10Layout(20, 64 * KB, 512 * MB, spread=True)
-    rng = random.Random(2)
-    extents = [
-        (rng.randrange(layout.logical_capacity - MB), rng.randrange(1, MB))
-        for _ in range(5_000)
-    ]
-
-    def run():
-        total = 0
-        for offset, nbytes in extents:
-            total += len(layout.map_extent(offset, nbytes))
-        return total
-
-    assert benchmark(run) > 0
+    assert benchmark(bench.layout_mapping_kernel, 5_000) > 0
 
 
 def test_logspace_append_reclaim_throughput(benchmark):
-    def run():
-        region = LogRegion("bench", 0, 64 * MB)
-        for epoch in range(8):
-            for i in range(200):
-                region.append(32 * KB, {i % 4: 32 * KB}, epoch)
-            for pair in range(4):
-                region.reclaim(pair, epoch)
-        region.reclaim_all()
-        return region.used
-
-    assert benchmark(run) == 0
+    assert benchmark(bench.logspace_kernel) == 0

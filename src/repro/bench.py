@@ -1,0 +1,500 @@
+"""Pinned performance benchmark suite (`rolo bench`).
+
+One source of perf truth for the repository:
+
+* a **pinned scenario matrix** — all five schemes × two synthetic
+  workloads, a fault-injected cell, a trace-compilation scenario and a
+  long 10⁶-request hot-path replay — whose configurations are frozen so
+  numbers are comparable across commits (``BENCH_*.json`` files form the
+  repo's perf trajectory);
+* a **tolerance gate** comparing a fresh run against a committed baseline
+  (``benchmarks/baseline.json``), used by CI to fail on events/sec
+  regressions; and
+* the **micro-kernels** that ``benchmarks/test_bench_micro.py`` wraps with
+  pytest-benchmark, so ad-hoc timing loops don't drift from the harness.
+
+The scenario configurations must never change silently: edit them only
+together with a baseline refresh (``rolo bench --update-baseline``) and a
+note in the PR, otherwise cross-commit comparisons become meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core import ArrayConfig, build_controller, run_trace
+from repro.sim import Simulator
+from repro.traces.synthetic import (
+    Burstiness,
+    SyntheticTraceConfig,
+    generate_compiled,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+#: Report format version (bump on field/meaning changes).
+BENCH_SCHEMA_VERSION = 1
+
+#: The five schemes of the paper's main comparison.
+SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+
+#: Matrix workloads (names only; configs are pinned below).
+WORKLOADS = ("write-heavy", "mixed")
+
+DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "baseline.json")
+DEFAULT_OUT_PATH = "BENCH_4.json"
+DEFAULT_TOLERANCE = 0.25
+
+#: Hot-path replay length per mode.
+HOTPATH_REQUESTS = {"full": 1_000_000, "quick": 100_000}
+
+#: Single-failure injection time per mode (inside the trace horizon).
+FAULT_TIME = {"full": 40.0, "quick": 10.0}
+
+
+# ----------------------------------------------------------------------
+# Pinned scenario configurations — do not edit without a baseline refresh
+# ----------------------------------------------------------------------
+def matrix_trace_config(
+    workload: str, quick: bool = False
+) -> SyntheticTraceConfig:
+    """The two pinned matrix workloads (30 s horizon in quick mode)."""
+    duration = 30.0 if quick else 120.0
+    if workload == "write-heavy":
+        return SyntheticTraceConfig(
+            duration_s=duration,
+            iops=120.0,
+            write_ratio=0.95,
+            avg_request_bytes=64 * KB,
+            size_sigma=0.5,
+            footprint_bytes=96 * MB,
+            burstiness=Burstiness.HIGH,
+            burst_cycle_s=20.0,
+            seed=77,
+            name="bench-wh",
+        )
+    if workload == "mixed":
+        return SyntheticTraceConfig(
+            duration_s=duration,
+            iops=80.0,
+            write_ratio=0.55,
+            avg_request_bytes=32 * KB,
+            size_sigma=0.5,
+            footprint_bytes=128 * MB,
+            read_locality=0.7,
+            seed=78,
+            name="bench-mx",
+        )
+    raise ValueError(f"unknown bench workload {workload!r}")
+
+
+def matrix_array_config() -> ArrayConfig:
+    """The pinned array: 4 mirrored pairs at 1% capacity scale."""
+    return ArrayConfig(n_pairs=4).scaled(0.01)
+
+
+def hotpath_trace_config(n_requests: int) -> SyntheticTraceConfig:
+    """The long open-loop replay trace (~``n_requests`` arrivals)."""
+    return SyntheticTraceConfig(
+        duration_s=n_requests / 500.0,
+        iops=500.0,
+        write_ratio=0.7,
+        avg_request_bytes=64 * KB,
+        size_sigma=0.5,
+        footprint_bytes=256 * MB,
+        seed=1234,
+        name=f"bench-hotpath-{n_requests}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Timed execution
+# ----------------------------------------------------------------------
+def timed_replay(
+    scheme: str,
+    trace,
+    config: ArrayConfig,
+    fault_spec: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one simulation and report wall-clock + events/sec.
+
+    The timed window covers controller construction, the replay itself and
+    the consistency check — everything a cell costs — but not trace
+    generation (measured by the ``compile:`` scenario).
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.faults.oracle import ConsistencyOracle
+    from repro.faults.schedule import FaultSchedule
+
+    sim = Simulator()
+    started = time.perf_counter()
+    if fault_spec is None:
+        controller = build_controller(scheme, sim, config)
+        metrics = run_trace(controller, trace)
+        controller.assert_consistent()
+    else:
+        oracle = ConsistencyOracle()
+        controller = build_controller(scheme, sim, config, oracle=oracle)
+        injector = FaultInjector(
+            sim, controller, FaultSchedule.parse(fault_spec), oracle=oracle
+        )
+        injector.arm()
+        metrics = run_trace(controller, trace)
+        injector._check("end")
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 4),
+        "events": sim.events_processed,
+        "events_per_sec": round(sim.events_processed / wall, 1),
+        "requests": metrics.requests,
+        "sim_time_s": round(sim.now, 3),
+    }
+
+
+def timed_compile(config: SyntheticTraceConfig) -> Tuple[Any, Dict[str, Any]]:
+    """Generate a compiled trace, timing the lowering throughput."""
+    started = time.perf_counter()
+    trace = generate_compiled(config)
+    wall = time.perf_counter() - started
+    return trace, {
+        "wall_s": round(wall, 4),
+        "records": len(trace),
+        "records_per_sec": round(len(trace) / wall, 1),
+        "column_bytes": trace.nbytes(),
+    }
+
+
+def scenario_names(quick: bool = False) -> List[str]:
+    """Every scenario the suite runs, in execution order."""
+    mode = "quick" if quick else "full"
+    names = [
+        f"compile:synthetic-{HOTPATH_REQUESTS[mode] // 1000}k"
+        if quick
+        else "compile:synthetic-1m",
+        "hotpath:raid10-100k" if quick else "hotpath:raid10-1m",
+    ]
+    names += [
+        f"matrix:{scheme}:{workload}"
+        for workload in WORKLOADS
+        for scheme in SCHEMES
+    ]
+    names.append("fault:rolo-p:write-heavy")
+    return names
+
+
+def run_suite(
+    quick: bool = False,
+    only: Optional[Iterable[str]] = None,
+    progress=None,
+) -> Dict[str, Dict[str, Any]]:
+    """Run the pinned matrix and return ``{scenario: result}``.
+
+    ``only`` restricts the run to scenarios whose name contains any of the
+    given substrings (used by tests and targeted investigations — a
+    filtered report must not be used as a baseline).  ``progress`` is an
+    optional callable receiving one line per completed scenario.
+    """
+    mode = "quick" if quick else "full"
+    filters = tuple(only) if only else ()
+
+    def wanted(name: str) -> bool:
+        return not filters or any(f in name for f in filters)
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    results: Dict[str, Dict[str, Any]] = {}
+    config = matrix_array_config()
+
+    n = HOTPATH_REQUESTS[mode]
+    compile_name = (
+        f"compile:synthetic-{n // 1000}k" if quick else "compile:synthetic-1m"
+    )
+    hotpath_name = "hotpath:raid10-100k" if quick else "hotpath:raid10-1m"
+    hotpath_trace = None
+    if wanted(compile_name) or wanted(hotpath_name):
+        hotpath_trace, compile_result = timed_compile(hotpath_trace_config(n))
+        if wanted(compile_name):
+            results[compile_name] = compile_result
+            note(
+                f"{compile_name}: "
+                f"{compile_result['records_per_sec']:,.0f} records/s"
+            )
+    if wanted(hotpath_name):
+        results[hotpath_name] = timed_replay("raid10", hotpath_trace, config)
+        note(
+            f"{hotpath_name}: "
+            f"{results[hotpath_name]['events_per_sec']:,.0f} events/s"
+        )
+    hotpath_trace = None  # release the columns before the matrix
+
+    for workload in WORKLOADS:
+        names = [f"matrix:{scheme}:{workload}" for scheme in SCHEMES]
+        if not any(wanted(name) for name in names):
+            continue
+        trace = generate_compiled(matrix_trace_config(workload, quick=quick))
+        for scheme, name in zip(SCHEMES, names):
+            if not wanted(name):
+                continue
+            results[name] = timed_replay(scheme, trace, config)
+            note(f"{name}: {results[name]['events_per_sec']:,.0f} events/s")
+
+    fault_name = "fault:rolo-p:write-heavy"
+    if wanted(fault_name):
+        trace = generate_compiled(
+            matrix_trace_config("write-heavy", quick=quick)
+        )
+        results[fault_name] = timed_replay(
+            "rolo-p",
+            trace,
+            config,
+            fault_spec=f"fail@{FAULT_TIME[mode]:g}:M1",
+        )
+        note(
+            f"{fault_name}: "
+            f"{results[fault_name]['events_per_sec']:,.0f} events/s"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Reports, baselines and the regression gate
+# ----------------------------------------------------------------------
+def build_report(
+    results: Dict[str, Dict[str, Any]],
+    mode: str,
+    comparison: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the JSON report written to ``BENCH_*.json``."""
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "mode": mode,
+        "scenarios": results,
+    }
+    if comparison is not None:
+        report["comparison"] = comparison
+    return report
+
+
+def write_report(report: Dict[str, Any], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, Any]]:
+    """Read a baseline's scenario map.
+
+    Accepts both full reports (``{"scenarios": {...}}``) and bare
+    scenario maps, so historical snapshots remain usable.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict) and isinstance(data.get("scenarios"), dict):
+        return data["scenarios"]
+    if isinstance(data, dict):
+        return data
+    raise ValueError(f"{path}: not a bench baseline")
+
+
+def _rate_of(result: Dict[str, Any]) -> Optional[float]:
+    """The scenario's throughput figure (events/sec or records/sec)."""
+    for field in ("events_per_sec", "records_per_sec"):
+        value = result.get(field)
+        if isinstance(value, (int, float)) and value > 0:
+            return float(value)
+    return None
+
+
+def compare(
+    results: Dict[str, Dict[str, Any]],
+    baseline: Dict[str, Dict[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, Any]:
+    """Per-scenario throughput ratios vs a baseline, plus the gate verdict.
+
+    A scenario *regresses* when its throughput falls below
+    ``baseline * (1 - tolerance)``.  Scenarios present on only one side
+    are reported but never gate (matrix growth must not break CI).
+    """
+    scenarios: Dict[str, Any] = {}
+    regressions: List[str] = []
+    for name in sorted(set(results) | set(baseline)):
+        current = results.get(name)
+        base = baseline.get(name)
+        if current is None or base is None:
+            scenarios[name] = {
+                "status": "only-current" if current else "only-baseline"
+            }
+            continue
+        cur_rate = _rate_of(current)
+        base_rate = _rate_of(base)
+        if cur_rate is None or base_rate is None:
+            scenarios[name] = {"status": "no-rate"}
+            continue
+        ratio = cur_rate / base_rate
+        entry = {
+            "current": cur_rate,
+            "baseline": base_rate,
+            "speedup": round(ratio, 3),
+            "status": "ok",
+        }
+        if ratio < 1.0 - tolerance:
+            entry["status"] = "regression"
+            regressions.append(name)
+        scenarios[name] = entry
+    return {
+        "tolerance": tolerance,
+        "regressions": regressions,
+        "passed": not regressions,
+        "scenarios": scenarios,
+    }
+
+
+def format_table(
+    results: Dict[str, Dict[str, Any]],
+    comparison: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Human-readable scenario table for terminal output."""
+    rows = []
+    header = ("scenario", "wall s", "throughput", "vs baseline")
+    compared = (comparison or {}).get("scenarios", {})
+    for name in sorted(results):
+        result = results[name]
+        rate = _rate_of(result)
+        unit = "rec/s" if "records_per_sec" in result else "ev/s"
+        entry = compared.get(name, {})
+        if "speedup" in entry:
+            delta = f"{entry['speedup']:.2f}x"
+            if entry.get("status") == "regression":
+                delta += " REGRESSION"
+        else:
+            delta = "-"
+        rows.append(
+            (
+                name,
+                f"{result.get('wall_s', 0.0):.2f}",
+                f"{rate:,.0f} {unit}" if rate else "-",
+                delta,
+            )
+        )
+    widths = [
+        max(len(str(row[i])) for row in rows + [header])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(header))
+    ]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Micro-kernels (wrapped by benchmarks/test_bench_micro.py)
+# ----------------------------------------------------------------------
+def engine_event_kernel(n_events: int = 10_000) -> int:
+    """Schedule + dispatch cost of the event heap."""
+    sim = Simulator()
+    count = 0
+
+    def tick() -> None:
+        nonlocal count
+        count += 1
+        if count < n_events:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count
+
+
+def timer_rearm_kernel(n_events: int = 100_000) -> Tuple[int, int]:
+    """Timer re-arm storm: each event cancels and re-schedules an expiry.
+
+    Exercises lazy deletion, the cancelled census and automatic heap
+    compaction.  Returns ``(ticks + expirations, peak_heap)``; only the
+    final armed timer ever fires, and compaction keeps ``peak_heap``
+    bounded regardless of ``n_events``.
+    """
+    from repro.sim.engine import Timer
+
+    sim = Simulator()
+    count = 0
+    fired = 0
+    peak_heap = 0
+
+    def on_expire() -> None:
+        nonlocal fired
+        fired += 1
+
+    timer = Timer(sim, 1.0, on_expire)
+
+    def tick() -> None:
+        nonlocal count, peak_heap
+        count += 1
+        timer.arm()
+        if sim.heap_size > peak_heap:
+            peak_heap = sim.heap_size
+        if count < n_events:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count + fired, peak_heap
+
+
+def disk_random_io_kernel(n_ops: int = 2_000, seed: int = 1) -> int:
+    """Full service path of random 64K writes on one disk."""
+    from repro.disk.disk import Disk, DiskOp, OpKind
+    from repro.disk.models import ULTRASTAR_36Z15
+
+    rng = random.Random(seed)
+    sectors = ULTRASTAR_36Z15.capacity_sectors
+    offsets = [rng.randrange(sectors - 200) for _ in range(n_ops)]
+    sim = Simulator()
+    disk = Disk(sim, ULTRASTAR_36Z15, "D")
+    for sector in offsets:
+        disk.submit(DiskOp(OpKind.WRITE, sector, 64 * KB))
+    sim.run()
+    return disk.ops_completed
+
+
+def layout_mapping_kernel(n_extents: int = 5_000, seed: int = 2) -> int:
+    """Extent-to-segment mapping throughput on a spread layout."""
+    from repro.raid.layout import Raid10Layout
+
+    layout = Raid10Layout(20, 64 * KB, 512 * MB, spread=True)
+    rng = random.Random(seed)
+    extents = [
+        (rng.randrange(layout.logical_capacity - MB), rng.randrange(1, MB))
+        for _ in range(n_extents)
+    ]
+    total = 0
+    for offset, nbytes in extents:
+        total += len(layout.map_extent(offset, nbytes))
+    return total
+
+
+def logspace_kernel(epochs: int = 8, appends_per_epoch: int = 200) -> int:
+    """Log-region append/reclaim churn; returns final used bytes (0)."""
+    from repro.core.logspace import LogRegion
+
+    region = LogRegion("bench", 0, 64 * MB)
+    for epoch in range(epochs):
+        for i in range(appends_per_epoch):
+            region.append(32 * KB, {i % 4: 32 * KB}, epoch)
+        for pair in range(4):
+            region.reclaim(pair, epoch)
+    region.reclaim_all()
+    return region.used

@@ -13,6 +13,8 @@ Subcommands::
     rolo simulate rolo-p src2_2 --trace out.json --sample-interval 0.5
     rolo run fig10 --profile          # per-cell timing report
     rolo trace summarize out.json     # inspect an event trace
+    rolo bench --quick                # pinned perf matrix + regression gate
+    rolo bench --out BENCH_4.json     # full matrix, write the JSON report
 
 ``rolo run`` fans uncached simulation cells out over a process pool
 (``--jobs N``, default: all cores; ``--jobs 1`` is the exact serial path)
@@ -239,6 +241,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+_BENCH_OUT_HINT = "BENCH_4.json"
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import bench
+
+    mode = "quick" if args.quick else "full"
+    only = args.only.split(",") if args.only else None
+    baseline_path = args.baseline or bench.DEFAULT_BASELINE_PATH
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else bench.DEFAULT_TOLERANCE
+    )
+    results = bench.run_suite(
+        quick=args.quick,
+        only=only,
+        progress=lambda line: print(f"[bench] {line}", file=sys.stderr),
+    )
+
+    if args.update_baseline:
+        report = bench.build_report(results, mode)
+        path = bench.write_report(report, baseline_path)
+        print(f"[bench] baseline updated: {path}")
+        print(bench.format_table(results))
+        return 0
+
+    comparison = None
+    if not args.skip_compare and os.path.exists(baseline_path):
+        baseline = bench.load_baseline(baseline_path)
+        comparison = bench.compare(results, baseline, tolerance=tolerance)
+    elif not args.skip_compare:
+        print(
+            f"[bench] no baseline at {baseline_path}; skipping the gate "
+            f"(create one with --update-baseline)",
+            file=sys.stderr,
+        )
+
+    report = bench.build_report(results, mode, comparison=comparison)
+    if args.out:
+        path = bench.write_report(report, args.out)
+        print(f"[bench] wrote {path}")
+    print(bench.format_table(results, comparison))
+    if comparison is not None and not comparison["passed"]:
+        names = ", ".join(comparison["regressions"])
+        print(
+            f"[bench] FAIL: regression beyond "
+            f"{tolerance:.0%} tolerance in: {names}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     previous_cache = result_cache.active_cache()
     result_cache.configure(
@@ -452,6 +510,51 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("trace_command", choices=("summarize",))
     trace_p.add_argument("file", help="trace file (Chrome JSON or JSONL)")
     trace_p.set_defaults(fn=_cmd_trace)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the pinned performance benchmark matrix",
+    )
+    bench_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="short horizons (~100k-request hot path; CI smoke mode)",
+    )
+    bench_p.add_argument(
+        "--out",
+        default=None,
+        help=f"write the JSON report here (e.g. {_BENCH_OUT_HINT})",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline report to gate against "
+        "(default: benchmarks/baseline.json)",
+    )
+    bench_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional events/sec drop before failing "
+        "(default: 0.25)",
+    )
+    bench_p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write this run's numbers as the new baseline and exit",
+    )
+    bench_p.add_argument(
+        "--skip-compare",
+        action="store_true",
+        help="measure only; no baseline comparison or gate",
+    )
+    bench_p.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated scenario-name substrings to run "
+        "(filtered runs must not become baselines)",
+    )
+    bench_p.set_defaults(fn=_cmd_bench)
 
     faults_p = sub.add_parser(
         "faults", help="fault injection with the consistency oracle"

@@ -9,9 +9,13 @@ from repro.core.config import ArrayConfig
 from repro.core.metrics import RunMetrics
 from repro.disk.disk import Disk, DiskOp, OpKind, Priority, Scheduler
 from repro.disk.power import PowerState
-from repro.raid.request import IORequest
+from repro.raid.request import IORequest, RequestKind
 from repro.sim.engine import Simulator
+from repro.traces.compiled import AnyTrace, CompiledTrace
 from repro.traces.record import Trace
+
+#: Kind-column decode table (indexes match KIND_READ / KIND_WRITE).
+_KIND_BY_CODE = (RequestKind.READ, RequestKind.WRITE)
 
 
 class DataLossError(RuntimeError):
@@ -315,13 +319,20 @@ class Controller(abc.ABC):
         """Submit one disk op, optionally tied to a request's fan-in."""
         if request is not None:
             request.add_waits()
+            if on_complete is None:
+                # Common case: the fan-in is the only completion consumer,
+                # so hand the disk the bound method directly instead of
+                # allocating a closure per operation.
+                callback: Optional[Callable[[DiskOp], None]] = (
+                    request.op_complete
+                )
+            else:
 
-            def _done(op: DiskOp, _cb=on_complete) -> None:
-                if _cb is not None:
+                def _done(op: DiskOp, _cb=on_complete) -> None:
                     _cb(op)
-                request.op_done(self.sim.now)
+                    request.op_done(self.sim.now)
 
-            callback: Optional[Callable[[DiskOp], None]] = _done
+                callback = _done
         else:
             callback = on_complete
         op = DiskOp(
@@ -383,20 +394,39 @@ class Controller(abc.ABC):
 
 
 class TraceDriver:
-    """Replays a trace against a controller with open-loop arrivals."""
+    """Replays a trace against a controller with open-loop arrivals.
+
+    Arrivals are streamed: only the *next* arrival (plus whatever
+    completions are outstanding) lives in the event heap at any instant, so
+    peak heap size is O(in-flight), independent of trace length.  A
+    :class:`~repro.traces.compiled.CompiledTrace` replays through a
+    columnar fast path that reads arrival/offset/size/kind by index and
+    never materializes ``TraceRecord`` objects; both paths schedule exactly
+    one arrival event per trace record, so ``events_processed`` is
+    identical between them (the arrival-streaming delta is zero).
+    """
 
     def __init__(
         self,
         sim: Simulator,
         controller: Controller,
-        trace: Trace,
+        trace: AnyTrace,
         on_complete: Optional[Callable[[], None]] = None,
     ) -> None:
         self.sim = sim
         self.controller = controller
         self.trace = trace
         self.on_complete = on_complete
-        self._iter = iter(trace)
+        self._compiled = isinstance(trace, CompiledTrace)
+        if self._compiled:
+            self._arrivals = trace.arrivals
+            self._offsets = trace.offsets
+            self._sizes = trace.sizes
+            self._kinds = trace.kinds
+            self._n = len(trace.arrivals)
+            self._index = 0
+        else:
+            self._iter = iter(trace)
         self._outstanding = 0
         self._dispatched = 0
         self._arrivals_done = False
@@ -409,12 +439,46 @@ class TraceDriver:
         self._schedule_next()
 
     def _schedule_next(self) -> None:
+        if self._compiled:
+            i = self._index
+            if i >= self._n:
+                self._arrivals_done = True
+                self._check_done()
+                return
+            self._index = i + 1
+            self.sim.at(
+                self._arrivals[i], self._arrive_compiled, i, label="arrival"
+            )
+            return
         record = next(self._iter, None)
         if record is None:
             self._arrivals_done = True
             self._check_done()
             return
         self.sim.at(record.timestamp, self._arrive, record, label="arrival")
+
+    def _arrive_compiled(self, i: int) -> None:
+        kind = _KIND_BY_CODE[self._kinds[i]]
+        offset = self._offsets[i]
+        nbytes = self._sizes[i]
+        request = IORequest(
+            kind,
+            offset,
+            nbytes,
+            arrival_time=self.sim.now,
+            on_complete=self._request_done,
+        )
+        self._outstanding += 1
+        tracer = self.controller.tracer
+        if tracer is not None:
+            rid = self._dispatched
+            self._rids[request] = rid
+            tracer.request_arrived(
+                rid, kind.value, offset, nbytes, self.sim.now
+            )
+        self._dispatched += 1
+        self.controller.submit(request)
+        self._schedule_next()
 
     def _arrive(self, record) -> None:
         request = IORequest(
@@ -461,13 +525,16 @@ class TraceDriver:
 
 
 def run_trace(
-    controller: Controller, trace: Trace, drain: bool = True
+    controller: Controller, trace: AnyTrace, drain: bool = True
 ) -> RunMetrics:
     """Replay ``trace`` against ``controller`` and return its metrics.
 
-    The measurement window closes when the last request completes; the
-    post-trace flush (``drain=True``) brings mirrors consistent *outside*
-    the window so schemes are compared over identical horizons.
+    ``trace`` may be a legacy :class:`Trace` or a columnar
+    :class:`~repro.traces.compiled.CompiledTrace`; both produce
+    byte-identical metrics.  The measurement window closes when the last
+    request completes; the post-trace flush (``drain=True``) brings mirrors
+    consistent *outside* the window so schemes are compared over identical
+    horizons.
     """
     sim = controller.sim
     driver = TraceDriver(

@@ -161,6 +161,9 @@ class Disk:
         #: removed first, modelling the drive remapping the sectors.
         self.on_media_error: Optional[Callable[["Disk", int, int], None]] = None
         self._idle_listeners: List[Callable[["Disk"], None]] = []
+        # Hot-path constants: the per-op event label is invariant, so build
+        # it once instead of formatting an f-string per operation.
+        self._io_label = f"{name}:io"
         # Cumulative statistics.
         self.ops_completed = 0
         self.bytes_transferred = 0
@@ -186,7 +189,8 @@ class Disk:
 
     @property
     def queue_depth(self) -> int:
-        return sum(len(q) for q in self._queues)
+        queues = self._queues  # one deque per Priority member
+        return len(queues[0]) + len(queues[1])
 
     @property
     def pending_foreground(self) -> int:
@@ -246,13 +250,17 @@ class Disk:
 
     def submit(self, op: DiskOp) -> None:
         """Queue an operation; wakes the disk if it is asleep."""
-        if self.failed:
+        # Read the power state once through the accountant's attribute:
+        # submit/_try_start/_complete run per simulated op, and the
+        # state->property->property chain showed up in replay profiles.
+        state = self.power._state
+        if state is PowerState.FAILED:
             raise DiskFailedError(f"{self.name} has failed")
         op.submit_time = self.sim.now
         self._queues[op.priority].append(op)
-        if self.state is PowerState.STANDBY:
+        if state is PowerState.STANDBY:
             self._begin_spin_up()
-        elif self.state is PowerState.SPINNING_DOWN:
+        elif state is PowerState.SPINNING_DOWN:
             self._wake_after_down = True
         else:
             self._try_start()
@@ -278,20 +286,35 @@ class Disk:
         return None
 
     def _try_start(self) -> None:
-        if self._in_service is not None or not self.state.spun_up:
+        if self._in_service is not None:
             return
-        op = self._next_op()
-        if op is None:
+        power = self.power
+        state = power._state
+        if state is not PowerState.IDLE and state is not PowerState.ACTIVE:
             return
+        queues = self._queues
+        if self.scheduler is Scheduler.FCFS:
+            # Inline the FCFS pop: strict arrival order within priority.
+            if queues[0]:
+                op = queues[0].popleft()
+            elif queues[1]:
+                op = queues[1].popleft()
+            else:
+                return
+        else:
+            op = self._next_op()
+            if op is None:
+                return
+        now = self.sim.now
         self._in_service = op
-        op.start_time = self.sim.now
+        op.start_time = now
         if self._idle_since >= 0:
-            gap = self.sim.now - self._idle_since
+            gap = now - self._idle_since
             if gap > 0:
                 self.idle_gap_histogram.add(gap)
             self._idle_since = -1.0
-        if self.state is not PowerState.ACTIVE:
-            self.power.transition(self.sim.now, PowerState.ACTIVE)
+        if state is not PowerState.ACTIVE:
+            power.transition(now, PowerState.ACTIVE)
         if op.sequential_hint:
             service = self.spec.transfer_time(op.nbytes)
         else:
@@ -300,7 +323,7 @@ class Disk:
             )
         if self.slowdown_factor != 1.0:
             service *= self.slowdown_factor
-        self.sim.schedule(service, self._complete, op, label=f"{self.name}:io")
+        self.sim.schedule(service, self._complete, op, label=self._io_label)
 
     def _complete(self, op: DiskOp) -> None:
         now = self.sim.now
@@ -332,8 +355,9 @@ class Disk:
         if self._queues[0] or self._queues[1]:
             self._try_start()
         else:
-            if self.state is PowerState.ACTIVE:
-                self.power.transition(now, PowerState.IDLE)
+            power = self.power
+            if power._state is PowerState.ACTIVE:
+                power.transition(now, PowerState.IDLE)
             self._idle_since = now
             self._notify_idle()
 

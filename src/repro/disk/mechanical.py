@@ -49,6 +49,13 @@ class MechanicalModel:
                 spec.full_stroke_seek_time - spec.avg_seek_time
             ) / denom
             self._seek_a = spec.full_stroke_seek_time - self._seek_b * math.sqrt(c)
+        # Seek-time memo keyed by cylinder distance.  The block layout
+        # quantizes requests to stripe-unit boundaries, so real workloads
+        # produce a small set of distinct distances; memoizing turns the
+        # sqrt + double clamp into one dict probe.  Bounded by the cylinder
+        # count, so the memo cannot grow past a few tens of thousands of
+        # floats even under fully random access.
+        self._seek_memo: dict = {}
 
     def cylinder_of(self, sector: int) -> int:
         """Cylinder holding ``sector`` (linear mapping)."""
@@ -96,12 +103,16 @@ class MechanicalModel:
             return self._rot_latency + transfer
         if distance < 0:
             distance = -distance
-        raw = self._seek_a + self._seek_b * math.sqrt(distance)
-        if raw < self._t2t_seek:
-            raw = self._t2t_seek
-        elif raw > self._full_seek:
-            raw = self._full_seek
-        return raw + self._rot_latency + transfer
+        memo = self._seek_memo
+        seek = memo.get(distance)
+        if seek is None:
+            raw = self._seek_a + self._seek_b * math.sqrt(distance)
+            if raw < self._t2t_seek:
+                raw = self._t2t_seek
+            elif raw > self._full_seek:
+                raw = self._full_seek
+            memo[distance] = seek = raw
+        return seek + self._rot_latency + transfer
 
     @staticmethod
     def end_sector(start_sector: int, nbytes: int) -> int:

@@ -29,6 +29,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro import __version__
 from repro.core.metrics import RunMetrics
+from repro.traces.compiled import TRACE_COMPILER_VERSION
 
 #: Bump whenever the meaning of a cached entry changes: metric serialization
 #: layout, simulation semantics, or the canonical key format.
@@ -83,10 +84,19 @@ def _jsonable(frozen: Any) -> Any:
 
 
 def cell_hash(key: Any) -> str:
-    """Stable content hash of a (frozen or freezable) cell key."""
+    """Stable content hash of a (frozen or freezable) cell key.
+
+    The trace-compiler version is folded into every hash: a compiled-trace
+    rollout that changes lowering semantics makes all previous hashes
+    unreachable, so stale payloads can never be mixed with fresh ones.
+    """
     frozen = freeze(key)
     payload = json.dumps(
-        {"schema": CACHE_SCHEMA_VERSION, "key": _jsonable(frozen)},
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "trace_compiler": TRACE_COMPILER_VERSION,
+            "key": _jsonable(frozen),
+        },
         sort_keys=True,
         separators=(",", ":"),
     )

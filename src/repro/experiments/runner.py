@@ -27,8 +27,9 @@ from repro.core import ArrayConfig, build_controller, run_trace
 from repro.core.metrics import RunMetrics
 from repro.experiments.cache import active_cache, freeze
 from repro.sim import Simulator
-from repro.traces import Trace, build_workload_trace
-from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+from repro.traces import build_workload_trace
+from repro.traces.compiled import AnyTrace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_compiled
 
 #: Default trace time-scales for the named workloads (chosen so main
 #: experiments finish in seconds while preserving cycle counts; see
@@ -124,11 +125,17 @@ class Cell:
             f"scale={self.scale} seed={self.seed}"
         )
 
-    def materialize(self) -> Tuple[Trace, ArrayConfig]:
-        """Build this cell's trace and resolved array configuration."""
+    def materialize(self) -> Tuple[AnyTrace, ArrayConfig]:
+        """Build this cell's trace and resolved array configuration.
+
+        Traces materialize in compiled (columnar) form: replay through the
+        :class:`~repro.core.base.TraceDriver` fast path is byte-identical
+        to the legacy object form (see tests/test_compiled_equivalence.py)
+        and skips one boxed ``TraceRecord`` per request.
+        """
         if self.kind == "synthetic":
             assert self.trace_config is not None and self.config is not None
-            return generate_trace(self.trace_config), self.config
+            return generate_compiled(self.trace_config), self.config
         config = self.config
         if config is None:
             config = ArrayConfig(n_pairs=self.n_pairs).scaled(self.scale)
@@ -137,7 +144,7 @@ class Cell:
                 config, **dict(self.config_overrides)
             )
         trace = build_workload_trace(
-            self.workload, scale=self.scale, seed=self.seed
+            self.workload, scale=self.scale, seed=self.seed, compiled=True
         )
         return trace, config
 

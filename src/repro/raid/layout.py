@@ -9,26 +9,52 @@ the pair (mirroring happens in the controller, not here).
 
 from __future__ import annotations
 
-import dataclasses
 import math
 from typing import Iterator, List, Tuple
 
 
-@dataclasses.dataclass(frozen=True)
 class StripeSegment:
-    """A contiguous piece of a logical request on one mirrored pair."""
+    """A contiguous piece of a logical request on one mirrored pair.
 
-    pair: int
-    disk_offset: int
-    nbytes: int
+    A plain ``__slots__`` value class rather than a frozen dataclass:
+    ``map_extent`` constructs one per stripe-unit crossing on every request,
+    and the frozen dataclass's ``object.__setattr__`` construction path was
+    measurable in replay profiles.
+    """
 
-    def __post_init__(self) -> None:
-        if self.pair < 0 or self.disk_offset < 0 or self.nbytes <= 0:
-            raise ValueError(f"invalid segment {self!r}")
+    __slots__ = ("pair", "disk_offset", "nbytes")
+
+    def __init__(self, pair: int, disk_offset: int, nbytes: int) -> None:
+        if pair < 0 or disk_offset < 0 or nbytes <= 0:
+            raise ValueError(
+                f"invalid segment (pair={pair}, disk_offset={disk_offset}, "
+                f"nbytes={nbytes})"
+            )
+        self.pair = pair
+        self.disk_offset = disk_offset
+        self.nbytes = nbytes
 
     @property
     def end_offset(self) -> int:
         return self.disk_offset + self.nbytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StripeSegment):
+            return NotImplemented
+        return (
+            self.pair == other.pair
+            and self.disk_offset == other.disk_offset
+            and self.nbytes == other.nbytes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pair, self.disk_offset, self.nbytes))
+
+    def __repr__(self) -> str:
+        return (
+            f"StripeSegment(pair={self.pair}, "
+            f"disk_offset={self.disk_offset}, nbytes={self.nbytes})"
+        )
 
 
 class Raid10Layout:

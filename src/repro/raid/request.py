@@ -91,6 +91,15 @@ class IORequest:
         if self._outstanding == 0 and self._sealed:
             self._finish(now)
 
+    def op_complete(self, op) -> None:
+        """Fan-in adapter usable directly as a ``DiskOp.on_complete``.
+
+        ``op.finish_time`` is the simulator's current time when the disk
+        fires the completion, so this is equivalent to ``op_done(sim.now)``
+        without allocating a per-operation closure.
+        """
+        self.op_done(op.finish_time)
+
     def _finish(self, now: float) -> None:
         self.finish_time = now
         if self.on_complete is not None:

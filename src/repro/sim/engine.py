@@ -4,13 +4,32 @@ The :class:`Simulator` owns a virtual clock and a binary-heap event queue.
 Events scheduled for the same instant fire in scheduling (FIFO) order, which
 makes runs reproducible regardless of callback content.  All times are
 floating-point seconds.
+
+Hot-path design (every simulated disk op passes through here twice):
+
+* Heap entries are ``(time, seq, event)`` tuples, so ``heappush``/``heappop``
+  compare plain floats and ints in C and never call back into Python
+  (``Event`` keeps an ``__lt__`` only as a safety net).
+* Fired and cancelled-and-popped events are recycled through a bounded free
+  list, so steady-state simulation allocates no per-event objects.
+* Cancelled events use lazy deletion (O(1) cancel), but the simulator keeps
+  a census of them and compacts the heap in place once they exceed half of
+  a non-trivial heap, so pathological ``Timer`` re-arm patterns cannot grow
+  the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Recycled Event objects kept for reuse; bounds idle memory while still
+#: covering any realistic in-flight event population.
+_FREE_LIST_MAX = 4096
+
+#: Automatic compaction threshold: compact when the heap holds more than
+#: this many entries AND more than half of them are cancelled.
+_COMPACT_MIN_HEAP = 1024
 
 
 class SimulationError(RuntimeError):
@@ -24,9 +43,15 @@ class Event:
     :meth:`Simulator.at` and can be cancelled before they fire.  Cancelled
     events stay in the heap but are skipped when popped (lazy deletion),
     which keeps cancellation O(1).
+
+    Event objects are pooled: once an event has fired (or been popped
+    cancelled) the simulator may reuse it for a future ``schedule``/``at``
+    call.  Holders must therefore drop their reference when the callback
+    fires and never call :meth:`cancel` afterwards (:class:`Timer` follows
+    this contract).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label", "sim")
 
     def __init__(
         self,
@@ -35,6 +60,7 @@ class Event:
         callback: Callable[..., None],
         args: tuple,
         label: str = "",
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -42,10 +68,15 @@ class Event:
         self.args = args
         self.cancelled = False
         self.label = label
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self.sim
+            if sim is not None:
+                sim._cancelled += 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -70,12 +101,21 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: List[Event] = []
-        self._seq = itertools.count()
+        #: Heap of ``(time, seq, Event)`` entries (see module docstring).
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
         self._running = False
         self._stopped = False
         self.events_processed = 0
         self._event_hook: Optional[Callable[[Event], None]] = None
+        #: Recycled Event objects awaiting reuse.
+        self._free: List[Event] = []
+        #: Census of cancelled events still sitting in the heap.  Kept
+        #: approximate (cancelling an already-fired event over-counts) and
+        #: re-zeroed by every compaction, so drift is bounded.
+        self._cancelled = 0
+        #: How many automatic/explicit compactions have run (introspection).
+        self.compactions = 0
 
     def set_event_hook(
         self, hook: Optional[Callable[[Event], None]]
@@ -94,6 +134,16 @@ class Simulator:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def heap_size(self) -> int:
+        """Pending heap entries, including not-yet-collected cancellations."""
+        return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Census of cancelled events still occupying heap slots."""
+        return self._cancelled
 
     def schedule(
         self,
@@ -119,9 +169,58 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, clock already at {self._now!r}"
             )
-        event = Event(time, next(self._seq), callback, args, label=label)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.label = label
+        else:
+            event = Event(time, seq, callback, args, label=label, sim=self)
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, event))
+        if len(heap) > _COMPACT_MIN_HEAP and self._cancelled * 2 > len(heap):
+            self.compact()
         return event
+
+    def compact(self) -> int:
+        """Drop cancelled events from the heap in place.
+
+        Runs automatically from :meth:`at` once cancelled entries exceed
+        half of a heap larger than ``_COMPACT_MIN_HEAP``; callers may also
+        invoke it directly.  Returns the number of entries removed.  The
+        heap list object is mutated in place so the run loop's local
+        binding stays valid even when a callback triggers compaction.
+        """
+        heap = self._heap
+        live = [entry for entry in heap if not entry[2].cancelled]
+        removed = len(heap) - len(live)
+        if removed:
+            free = self._free
+            for entry in heap:
+                event = entry[2]
+                if event.cancelled:
+                    event.callback = None
+                    event.args = None
+                    if len(free) < _FREE_LIST_MAX:
+                        free.append(event)
+            heap[:] = live
+            heapq.heapify(heap)
+        self._cancelled = 0
+        self.compactions += 1
+        return removed
+
+    def _recycle(self, event: Event) -> None:
+        """Return a fired/collected event to the free list."""
+        event.callback = None
+        event.args = None
+        if len(self._free) < _FREE_LIST_MAX:
+            self._free.append(event)
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""
@@ -158,21 +257,30 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            entry = heapq.heappop(heap)
+            if self._cancelled > 0:
+                self._cancelled -= 1
+            self._recycle(entry[2])
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Process a single event.  Returns ``False`` when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
+                self._recycle(event)
                 continue
-            self._now = event.time
+            self._now = time
             self.events_processed += 1
             if self._event_hook is not None:
                 self._event_hook(event)
             event.callback(*event.args)
+            self._recycle(event)
             return True
         return False
 
@@ -188,40 +296,61 @@ class Simulator:
         self._running = True
         self._stopped = False
         # Hot loop: inlined peek()+step() so each event costs exactly one
-        # heap pop (cancelled events are skipped in place), with the heap
-        # and heappop bound to locals.  This loop dominates every
+        # heap pop (cancelled events are skipped in place), with the heap,
+        # heappop and free list bound to locals.  This loop dominates every
         # simulation's profile.  A profiling hook, when installed, selects
         # a separate instrumented loop so the common path stays untouched.
+        # compact() mutates the heap and free lists in place, so these
+        # local bindings survive a compaction from inside a callback.
         heap = self._heap
         heappop = heapq.heappop
         hook = self._event_hook
+        free = self._free
         processed = 0
         try:
             if hook is None:
                 while heap and not self._stopped:
-                    event = heap[0]
+                    entry = heap[0]
+                    event = entry[2]
                     if event.cancelled:
                         heappop(heap)
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
+                        event.callback = None
+                        event.args = None
+                        if len(free) < _FREE_LIST_MAX:
+                            free.append(event)
                         continue
-                    if until is not None and event.time > until:
+                    time = entry[0]
+                    if until is not None and time > until:
                         break
                     heappop(heap)
-                    self._now = event.time
+                    self._now = time
                     processed += 1
                     event.callback(*event.args)
+                    event.callback = None
+                    event.args = None
+                    if len(free) < _FREE_LIST_MAX:
+                        free.append(event)
             else:
                 while heap and not self._stopped:
-                    event = heap[0]
+                    entry = heap[0]
+                    event = entry[2]
                     if event.cancelled:
                         heappop(heap)
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
+                        self._recycle(event)
                         continue
-                    if until is not None and event.time > until:
+                    time = entry[0]
+                    if until is not None and time > until:
                         break
                     heappop(heap)
-                    self._now = event.time
+                    self._now = time
                     processed += 1
                     hook(event)
                     event.callback(*event.args)
+                    self._recycle(event)
         finally:
             self.events_processed += processed
             self._running = False

@@ -9,10 +9,18 @@ the seven traces the evaluation uses (:mod:`repro.traces.workloads`).
 """
 
 from repro.traces.analysis import TraceStats, characterize
+from repro.traces.compiled import (
+    TRACE_COMPILER_VERSION,
+    AnyTrace,
+    CompiledTrace,
+    compile_trace,
+    compiled_from_events,
+)
 from repro.traces.record import Trace, TraceRecord
 from repro.traces.synthetic import (
     Burstiness,
     SyntheticTraceConfig,
+    generate_compiled,
     generate_trace,
 )
 from repro.traces.workloads import (
@@ -26,9 +34,15 @@ __all__ = [
     "TraceRecord",
     "TraceStats",
     "characterize",
+    "AnyTrace",
+    "CompiledTrace",
+    "TRACE_COMPILER_VERSION",
+    "compile_trace",
+    "compiled_from_events",
     "Burstiness",
     "SyntheticTraceConfig",
     "generate_trace",
+    "generate_compiled",
     "WorkloadPreset",
     "PAPER_WORKLOADS",
     "build_workload_trace",

@@ -15,9 +15,10 @@ import enum
 import math
 import random
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Iterator, Optional, Tuple
 
 from repro.raid.request import RequestKind
+from repro.traces.compiled import CompiledTrace, compiled_from_events
 from repro.traces.record import Trace, TraceRecord
 
 KB = 1024
@@ -158,13 +159,23 @@ def _pick_size(config: SyntheticTraceConfig, rng: random.Random) -> int:
     return _align(size)
 
 
-def generate_trace(config: SyntheticTraceConfig) -> Trace:
-    """Materialize a synthetic trace from its configuration."""
+def _aligned_footprint(config: SyntheticTraceConfig) -> int:
+    return (config.footprint_bytes // ALIGNMENT) * ALIGNMENT
+
+
+def _iter_events(
+    config: SyntheticTraceConfig,
+) -> Iterator[Tuple[float, bool, int, int]]:
+    """Yield ``(time, is_write, offset, size)`` for one synthetic trace.
+
+    This is the single source of truth for the generator's RNG stream:
+    :func:`generate_trace` and :func:`generate_compiled` both consume it,
+    so for a given config they produce record-for-record identical traces.
+    """
     rng = random.Random(config.seed)
     arrivals = _ArrivalProcess(config, rng)
-    records: List[TraceRecord] = []
     recent: Deque[Tuple[int, int]] = deque(maxlen=config.locality_window)
-    footprint = (config.footprint_bytes // ALIGNMENT) * ALIGNMENT
+    footprint = _aligned_footprint(config)
     next_sequential: Optional[int] = None
 
     read_ratio = 1.0 - config.write_ratio
@@ -193,20 +204,42 @@ def generate_trace(config: SyntheticTraceConfig) -> Trace:
             else:
                 offset = _placed_offset(config, rng, footprint, size)
             next_sequential = offset + size
-            kind = RequestKind.WRITE
         else:
-            kind = RequestKind.READ
             if recent and rng.random() < config.read_locality:
                 offset, ref_size = recent[rng.randrange(len(recent))]
                 size = min(size, ref_size)
             else:
                 offset = _placed_offset(config, rng, footprint, size)
         offset = min(offset, footprint - size)
-        records.append(TraceRecord(t, kind, offset, size))
+        yield t, is_write, offset, size
         recent.append((offset, size))
         t = arrivals.next_after(t)
 
-    return Trace(records, name=config.name, footprint_bytes=footprint)
+
+def generate_trace(config: SyntheticTraceConfig) -> Trace:
+    """Materialize a synthetic trace as boxed :class:`TraceRecord` objects."""
+    records = [
+        TraceRecord(
+            t, RequestKind.WRITE if is_write else RequestKind.READ, offset, size
+        )
+        for t, is_write, offset, size in _iter_events(config)
+    ]
+    return Trace(
+        records, name=config.name, footprint_bytes=_aligned_footprint(config)
+    )
+
+
+def generate_compiled(config: SyntheticTraceConfig) -> CompiledTrace:
+    """Generate the same trace as :func:`generate_trace`, columnar form.
+
+    No per-request objects are materialized: events stream straight from
+    the generator into the compiled columns.
+    """
+    return compiled_from_events(
+        _iter_events(config),
+        name=config.name,
+        footprint_bytes=_aligned_footprint(config),
+    )
 
 
 def _random_offset(rng: random.Random, footprint: int, size: int) -> int:

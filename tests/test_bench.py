@@ -1,0 +1,146 @@
+"""Tests for the pinned benchmark suite (`rolo bench`)."""
+
+import json
+
+import pytest
+
+from repro import bench
+
+
+# ----------------------------------------------------------------------
+# Scenario matrix pinning
+# ----------------------------------------------------------------------
+def test_scenario_names_are_pinned():
+    # These names are contract: baselines and BENCH_*.json reports key on
+    # them, so renames invalidate history.  Update deliberately.
+    assert bench.scenario_names(quick=False) == [
+        "compile:synthetic-1m",
+        "hotpath:raid10-1m",
+        "matrix:raid10:write-heavy",
+        "matrix:graid:write-heavy",
+        "matrix:rolo-p:write-heavy",
+        "matrix:rolo-r:write-heavy",
+        "matrix:rolo-e:write-heavy",
+        "matrix:raid10:mixed",
+        "matrix:graid:mixed",
+        "matrix:rolo-p:mixed",
+        "matrix:rolo-r:mixed",
+        "matrix:rolo-e:mixed",
+        "fault:rolo-p:write-heavy",
+    ]
+    quick = bench.scenario_names(quick=True)
+    assert quick[0] == "compile:synthetic-100k"
+    assert quick[1] == "hotpath:raid10-100k"
+    assert quick[2:] == bench.scenario_names(quick=False)[2:]
+
+
+def test_pinned_configs_are_deterministic():
+    a = bench.matrix_trace_config("write-heavy", quick=True)
+    b = bench.matrix_trace_config("write-heavy", quick=True)
+    assert a == b
+    with pytest.raises(ValueError):
+        bench.matrix_trace_config("no-such-workload", quick=True)
+
+
+# ----------------------------------------------------------------------
+# Comparison / regression gate
+# ----------------------------------------------------------------------
+def _result(rate, field="events_per_sec"):
+    return {field: rate, "wall_s": 1.0}
+
+
+def test_compare_passes_within_tolerance():
+    current = {"a": _result(80.0), "b": _result(130.0)}
+    baseline = {"a": _result(100.0), "b": _result(100.0)}
+    comparison = bench.compare(current, baseline, tolerance=0.25)
+    assert comparison["passed"]
+    assert comparison["regressions"] == []
+    assert comparison["scenarios"]["a"]["status"] == "ok"
+    assert comparison["scenarios"]["a"]["speedup"] == 0.8
+    assert comparison["scenarios"]["b"]["speedup"] == 1.3
+
+
+def test_compare_flags_regression_beyond_tolerance():
+    comparison = bench.compare(
+        {"a": _result(74.0)}, {"a": _result(100.0)}, tolerance=0.25
+    )
+    assert not comparison["passed"]
+    assert comparison["regressions"] == ["a"]
+    assert comparison["scenarios"]["a"]["status"] == "regression"
+
+
+def test_compare_one_sided_scenarios_never_gate():
+    comparison = bench.compare(
+        {"new": _result(10.0)}, {"old": _result(10.0)}, tolerance=0.25
+    )
+    assert comparison["passed"]
+    assert comparison["scenarios"]["new"]["status"] == "only-current"
+    assert comparison["scenarios"]["old"]["status"] == "only-baseline"
+
+
+def test_compare_uses_records_rate_for_compile_scenarios():
+    comparison = bench.compare(
+        {"compile": _result(50.0, field="records_per_sec")},
+        {"compile": _result(100.0, field="records_per_sec")},
+        tolerance=0.25,
+    )
+    assert comparison["regressions"] == ["compile"]
+
+
+# ----------------------------------------------------------------------
+# Reports and baselines
+# ----------------------------------------------------------------------
+def test_report_roundtrip_and_baseline_formats(tmp_path):
+    results = {"a": _result(100.0)}
+    report = bench.build_report(results, mode="quick")
+    assert report["schema"] == bench.BENCH_SCHEMA_VERSION
+    assert "comparison" not in report
+
+    path = str(tmp_path / "report.json")
+    bench.write_report(report, path)
+    assert bench.load_baseline(path) == results
+
+    # Bare scenario maps (historical snapshots) load too.
+    bare = str(tmp_path / "bare.json")
+    with open(bare, "w") as fh:
+        json.dump(results, fh)
+    assert bench.load_baseline(bare) == results
+
+    with open(bare, "w") as fh:
+        json.dump([1, 2], fh)
+    with pytest.raises(ValueError):
+        bench.load_baseline(bare)
+
+
+def test_format_table_mentions_each_scenario():
+    results = {"a": _result(100.0), "c": _result(5.0, "records_per_sec")}
+    comparison = bench.compare(results, {"a": _result(50.0)})
+    table = bench.format_table(results, comparison)
+    assert "a" in table and "c" in table
+    assert "ev/s" in table and "rec/s" in table
+    assert "2.0" in table  # speedup column for scenario a
+
+
+# ----------------------------------------------------------------------
+# The suite itself (one tiny cell, filtered)
+# ----------------------------------------------------------------------
+def test_run_suite_filtered_smoke():
+    results = bench.run_suite(quick=True, only=["matrix:raid10:write-heavy"])
+    assert list(results) == ["matrix:raid10:write-heavy"]
+    entry = results["matrix:raid10:write-heavy"]
+    assert entry["events"] > 0
+    assert entry["events_per_sec"] > 0
+    assert entry["requests"] > 0
+
+
+# ----------------------------------------------------------------------
+# Microbenchmark kernels double as correctness smoke tests
+# ----------------------------------------------------------------------
+def test_kernels_return_expected_shapes():
+    assert bench.engine_event_kernel(500) == 500
+    total, peak = bench.timer_rearm_kernel(2_000)
+    assert total == 2_001
+    assert peak > 0
+    assert bench.disk_random_io_kernel(50) == 50
+    assert bench.layout_mapping_kernel(100) > 0
+    assert bench.logspace_kernel(2, 20) == 0

@@ -236,3 +236,97 @@ class TestRunEdgeCases:
         sim.run(until=10.0)
         assert fired == []
         assert sim.now == 10.0  # horizon still honored after a stop
+
+
+class TestHeapHygiene:
+    def test_compact_removes_cancelled_entries(self):
+        sim = Simulator()
+        kept = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        dropped = [sim.schedule(0.5, lambda: None) for _ in range(6)]
+        for event in dropped:
+            event.cancel()
+        assert sim.heap_size == 10
+        assert sim.cancelled_pending == 6
+        removed = sim.compact()
+        assert removed == 6
+        assert sim.heap_size == len(kept)
+        assert sim.cancelled_pending == 0
+        # Surviving events still fire in order after the in-place rebuild.
+        sim.run()
+        assert sim.events_processed == len(kept)
+        assert sim.now == 4.0
+
+    def test_compact_is_noop_without_cancellations(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.compact() == 0
+        assert sim.heap_size == 1
+
+    def test_timer_rearm_storm_keeps_heap_bounded(self):
+        # Regression: before automatic compaction, every re-arm of a
+        # long-interval Timer left a cancelled entry in the heap for the
+        # whole run, so N re-arms meant an O(N) heap.  The expiries (at
+        # +1e4 s) never reach the heap top during the storm, so only
+        # compaction can collect them.
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 10_000.0, lambda: fired.append(sim.now))
+        state = {"count": 0, "peak": 0}
+
+        def tick():
+            state["count"] += 1
+            timer.arm()
+            if sim.heap_size > state["peak"]:
+                state["peak"] = sim.heap_size
+            if state["count"] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert state["count"] == 20_000
+        assert state["peak"] <= 2_048  # bounded, not O(20k)
+        assert sim.compactions > 0
+        assert fired == [pytest.approx(19.999 + 10_000.0)]
+
+    def test_compact_inside_callback_keeps_run_loop_consistent(self):
+        # compact() mutates the heap list in place; triggering it from a
+        # callback must not desynchronize the running event loop.
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(5.0, fired.append, "doomed") for _ in range(8)]
+
+        def purge():
+            for event in doomed:
+                event.cancel()
+            sim.compact()
+            fired.append("purged")
+
+        sim.schedule(1.0, purge)
+        sim.schedule(2.0, fired.append, "after")
+        sim.run()
+        assert fired == ["purged", "after"]
+        assert sim.now == 2.0
+
+    def test_event_objects_are_pooled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        # The fired event went to the free list and the next schedule
+        # reuses it with cleared callback state.
+        assert len(sim._free) == 1
+        recycled = sim._free[-1]
+        assert recycled.callback is None and recycled.args is None
+        event = sim.schedule(1.0, lambda: None)
+        assert event is recycled
+        assert not event.cancelled
+
+    def test_cancelled_census_decrements_on_collection(self):
+        sim = Simulator()
+        events = [sim.schedule(0.5, lambda: None) for _ in range(3)]
+        sim.schedule(1.0, lambda: None)
+        for event in events:
+            event.cancel()
+        assert sim.cancelled_pending == 3
+        sim.run()
+        assert sim.cancelled_pending == 0
+        assert sim.events_processed == 1
