@@ -3,8 +3,11 @@
 One source of perf truth for the repository:
 
 * a **pinned scenario matrix** — all five schemes × two synthetic
-  workloads, a fault-injected cell, a trace-compilation scenario and a
-  long 10⁶-request hot-path replay — whose configurations are frozen so
+  workloads, a fault-injected cell, a trace-compilation scenario, a
+  long 10⁶-request hot-path replay, and the ``sweep:*`` family (the full
+  five-scheme × two-workload matrix executed end-to-end through the
+  parallel runner at ``--jobs`` 1/2/4, the repo's first sweep-level
+  rather than per-event benchmark) — whose configurations are frozen so
   numbers are comparable across commits (``BENCH_*.json`` files form the
   repo's perf trajectory);
 * a **tolerance gate** comparing a fresh run against a committed baseline
@@ -47,7 +50,7 @@ SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
 WORKLOADS = ("write-heavy", "mixed")
 
 DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "baseline.json")
-DEFAULT_OUT_PATH = "BENCH_4.json"
+DEFAULT_OUT_PATH = "BENCH_6.json"
 DEFAULT_TOLERANCE = 0.25
 
 #: Hot-path replay length per mode.
@@ -55,6 +58,10 @@ HOTPATH_REQUESTS = {"full": 1_000_000, "quick": 100_000}
 
 #: Single-failure injection time per mode (inside the trace horizon).
 FAULT_TIME = {"full": 40.0, "quick": 10.0}
+
+#: Worker counts of the sweep-level scenarios (end-to-end matrix runs
+#: through the parallel executor; jobs=1 is the serial reference).
+SWEEP_JOBS = (1, 2, 4)
 
 
 # ----------------------------------------------------------------------
@@ -169,6 +176,95 @@ def timed_compile(config: SyntheticTraceConfig) -> Tuple[Any, Dict[str, Any]]:
     }
 
 
+def sweep_cells(quick: bool = False) -> List[Any]:
+    """The pinned end-to-end sweep: all five schemes × both workloads.
+
+    These are real experiment cells (the matrix traces and array config
+    above), executed through :func:`repro.experiments.parallel` exactly
+    as ``rolo run --jobs N`` would — so the scenario measures everything
+    a sweep costs: trace generation, shared-memory publication, worker
+    fan-out, simulation, and result installation.
+    """
+    from repro.experiments.runner import synthetic_cell
+
+    config = matrix_array_config()
+    return [
+        synthetic_cell(
+            scheme, matrix_trace_config(workload, quick=quick), config
+        )
+        for workload in WORKLOADS
+        for scheme in SCHEMES
+    ]
+
+
+def sweep_payload_bytes(cells) -> int:
+    """Largest parent-to-worker payload (pickled cell + TraceRef).
+
+    This is the number the shared-trace store pins down: it must stay a
+    few hundred bytes regardless of trace length, because the columns
+    travel through shared memory, not the pickle.
+    """
+    import pickle
+
+    from repro.traces.shm import SharedTraceStore, available
+
+    if not available():  # pragma: no cover - exotic builds
+        return 0
+    largest = 0
+    with SharedTraceStore() as store:
+        refs = {}
+        for cell in cells:
+            tkey = cell.trace_key()
+            if tkey not in refs:
+                refs[tkey] = store.publish(cell.build_trace())
+            payload = pickle.dumps((cell, refs[tkey]))
+            largest = max(largest, len(payload))
+    return largest
+
+
+def timed_sweep(jobs: int, quick: bool = False) -> Dict[str, Any]:
+    """Run the pinned sweep cold (no caches) at one worker count.
+
+    ``jobs=1`` executes the cells serially in-process (the reference the
+    acceptance speedup is measured against); ``jobs>1`` goes through
+    :func:`~repro.experiments.parallel.execute_cells` — shared-memory
+    trace store, locality-grouped dispatch and all.  Both paths start
+    from a cold in-memory memo with the persistent cache disabled, and
+    both leave every cache layer the way they found it.
+    """
+    import resource
+
+    from repro.experiments import cache as result_cache
+    from repro.experiments import parallel, runner
+
+    cells = sweep_cells(quick=quick)
+    previous = result_cache.active_cache()
+    result_cache.configure(enabled=False)
+    runner.clear_cache()
+    started = time.perf_counter()
+    try:
+        if jobs == 1:
+            for cell in cells:
+                cell.execute()
+        else:
+            parallel.execute_cells(cells, jobs=jobs)
+    finally:
+        wall = time.perf_counter() - started
+        runner.clear_cache()
+        result_cache.configure(
+            directory=previous.directory if previous else None,
+            enabled=previous is not None,
+        )
+    return {
+        "wall_s": round(wall, 4),
+        "jobs": jobs,
+        "cells": len(cells),
+        "cells_per_sec": round(len(cells) / wall, 3),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "payload_bytes_per_cell": sweep_payload_bytes(cells),
+    }
+
+
 def scenario_names(quick: bool = False) -> List[str]:
     """Every scenario the suite runs, in execution order."""
     mode = "quick" if quick else "full"
@@ -184,6 +280,7 @@ def scenario_names(quick: bool = False) -> List[str]:
         for scheme in SCHEMES
     ]
     names.append("fault:rolo-p:write-heavy")
+    names += [f"sweep:matrix-full:jobs{jobs}" for jobs in SWEEP_JOBS]
     return names
 
 
@@ -260,6 +357,17 @@ def run_suite(
             f"{fault_name}: "
             f"{results[fault_name]['events_per_sec']:,.0f} events/s"
         )
+
+    for jobs in SWEEP_JOBS:
+        name = f"sweep:matrix-full:jobs{jobs}"
+        if not wanted(name):
+            continue
+        results[name] = timed_sweep(jobs, quick=quick)
+        note(
+            f"{name}: {results[name]['wall_s']:.2f}s wall, "
+            f"{results[name]['cells_per_sec']:.2f} cells/s, "
+            f"payload {results[name]['payload_bytes_per_cell']} B/cell"
+        )
     return results
 
 
@@ -305,8 +413,8 @@ def load_baseline(path: str) -> Dict[str, Dict[str, Any]]:
 
 
 def _rate_of(result: Dict[str, Any]) -> Optional[float]:
-    """The scenario's throughput figure (events/sec or records/sec)."""
-    for field in ("events_per_sec", "records_per_sec"):
+    """The scenario's throughput figure (events/records/cells per sec)."""
+    for field in ("events_per_sec", "records_per_sec", "cells_per_sec"):
         value = result.get(field)
         if isinstance(value, (int, float)) and value > 0:
             return float(value)
@@ -369,7 +477,12 @@ def format_table(
     for name in sorted(results):
         result = results[name]
         rate = _rate_of(result)
-        unit = "rec/s" if "records_per_sec" in result else "ev/s"
+        if "records_per_sec" in result:
+            unit = "rec/s"
+        elif "cells_per_sec" in result:
+            unit = "cells/s"
+        else:
+            unit = "ev/s"
         entry = compared.get(name, {})
         if "speedup" in entry:
             delta = f"{entry['speedup']:.2f}x"
@@ -377,11 +490,16 @@ def format_table(
                 delta += " REGRESSION"
         else:
             delta = "-"
+        if rate:
+            magnitude = f"{rate:,.0f}" if rate >= 100 else f"{rate:,.2f}"
+            rate_text = f"{magnitude} {unit}"
+        else:
+            rate_text = "-"
         rows.append(
             (
                 name,
                 f"{result.get('wall_s', 0.0):.2f}",
-                f"{rate:,.0f} {unit}" if rate else "-",
+                rate_text,
                 delta,
             )
         )

@@ -14,7 +14,8 @@ Subcommands::
     rolo run fig10 --profile          # per-cell timing report
     rolo trace summarize out.json     # inspect an event trace
     rolo bench --quick                # pinned perf matrix + regression gate
-    rolo bench --out BENCH_4.json     # full matrix, write the JSON report
+    rolo bench --out BENCH_6.json     # full matrix, write the JSON report
+    rolo bench --only sweep           # just the end-to-end sweep scenarios
 
 ``rolo run`` fans uncached simulation cells out over a process pool
 (``--jobs N``, default: all cores; ``--jobs 1`` is the exact serial path)
@@ -241,7 +242,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-_BENCH_OUT_HINT = "BENCH_4.json"
+_BENCH_OUT_HINT = "BENCH_6.json"
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:

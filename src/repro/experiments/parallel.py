@@ -8,6 +8,18 @@ results into the in-memory memo and the persistent cache.  Because the
 dict round-trip is exact and each cell's simulation is single-threaded and
 seeded, parallel runs are bit-for-bit identical to serial ones.
 
+Trace bytes cross the process boundary **once per distinct trace**, not
+once per cell: the parent builds each distinct trace (``Cell.trace_key``
+groups cells that replay identical traces), publishes its columns into a
+:class:`~repro.traces.shm.SharedTraceStore` segment, and submits cells
+with a tiny :class:`~repro.traces.shm.TraceRef`.  Workers attach the
+segment zero-copy behind the ordinary ``CompiledTrace`` surface and
+memoize attachments per process, so consecutive same-trace cells pay
+nothing.  Dispatch is locality-aware: pending cells are ordered so
+same-trace cells are contiguous, and a bounded in-flight window hands
+work out dynamically, keeping the submission queue short enough that
+contiguous (warm) cells reach workers in order.
+
 ``jobs=1`` never touches the pool: cached/pending cells are only counted,
 and the experiment's own serial code path performs the computations —
 today's behavior, preserved exactly.
@@ -17,18 +29,53 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.metrics import RunMetrics
 from repro.experiments import runner
 from repro.experiments.runner import Cell
 from repro.obs.profiler import CellProfile, ProfileReport
+from repro.traces import shm
+from repro.traces.shm import SharedTraceStore, TraceRef
 
 
 def default_jobs() -> int:
-    """Worker count when ``--jobs`` is not given: every available core."""
+    """Worker count when ``--jobs`` is not given.
+
+    Respects the CPU *affinity mask* where the platform exposes one
+    (``os.sched_getaffinity``), so a containerized run pinned to 2 of 64
+    cores starts 2 workers, not 64.  Falls back to ``os.cpu_count()``.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            count = len(affinity(0))
+        except OSError:  # pragma: no cover - platform quirk
+            count = 0
+        if count:
+            return count
     return os.cpu_count() or 1
+
+
+class CellExecutionError(RuntimeError):
+    """A pool worker failed while computing one cell.
+
+    Raised in the parent with the failing cell's human-readable label;
+    the worker's original exception is chained as ``__cause__``.  By the
+    time this propagates, outstanding futures have been cancelled, the
+    pool has been shut down, and every shared-memory segment unlinked.
+    """
+
+    def __init__(self, label: str, cause: BaseException) -> None:
+        super().__init__(f"cell {label!r} failed: {cause!r}")
+        self.label = label
 
 
 @dataclasses.dataclass
@@ -61,15 +108,116 @@ class CellExecution:
         )
 
 
-def _compute_cell(cell: Cell) -> Dict[str, Any]:
+def _worker_init() -> None:
+    """Pool initializer: pre-import the simulation stack.
+
+    With ``fork`` this is a no-op (the child inherits the parent's
+    modules); under ``spawn`` it front-loads the import cost once per
+    worker instead of on the first submitted cell.
+    """
+    import repro.core  # noqa: F401
+    import repro.experiments.runner  # noqa: F401
+    import repro.traces.shm  # noqa: F401
+
+
+def _compute_cell(cell: Cell, ref: Optional[TraceRef]) -> Dict[str, Any]:
     """Worker entry point: run one cell, return its serialized metrics."""
-    return cell.execute().to_dict()
+    trace = shm.attach_cached(ref) if ref is not None else None
+    return cell.execute(trace=trace).to_dict()
 
 
-def _compute_cell_profiled(cell: Cell) -> Dict[str, Any]:
+def _compute_cell_profiled(
+    cell: Cell, ref: Optional[TraceRef]
+) -> Dict[str, Any]:
     """Worker entry point with per-cell timing attached."""
-    metrics, profile = cell.execute_profiled()
+    trace = shm.attach_cached(ref) if ref is not None else None
+    metrics, profile = cell.execute_profiled(trace=trace)
     return {"metrics": metrics.to_dict(), "profile": profile.to_dict()}
+
+
+def run_grouped(
+    pending: List[Tuple[Any, Any]],
+    jobs: int,
+    worker: Callable[..., Dict[str, Any]],
+    handle: Callable[[Any, Any, Dict[str, Any]], None],
+) -> None:
+    """Locality-aware pool dispatch shared by experiments and campaigns.
+
+    ``pending`` is ``[(key, cell), ...]`` where every cell exposes
+    ``trace_key()`` / ``build_trace()`` / ``label()``.  The parent builds
+    each distinct trace once, publishes it to a :class:`SharedTraceStore`,
+    orders cells so same-trace groups are contiguous, and keeps at most
+    ``2 * workers`` futures in flight (dynamic hand-out: one new
+    submission per completion).  ``handle(key, cell, payload)`` runs in
+    the parent per completed cell.
+
+    Error handling: a worker exception cancels all outstanding futures,
+    shuts the pool down, unlinks every segment, and raises
+    :class:`CellExecutionError` naming the failing cell.  A
+    ``KeyboardInterrupt`` in the parent performs the same cleanup and
+    re-raises, so neither the pool nor ``/dev/shm`` segments leak.
+    """
+    use_shm = shm.available()
+    with SharedTraceStore() if use_shm else _NullStore() as store:
+        refs: Dict[Tuple, Optional[TraceRef]] = {}
+        groups: Dict[Optional[str], List[Tuple[Any, Any, Optional[TraceRef]]]] = {}
+        for key, cell in pending:
+            tkey = cell.trace_key()
+            if tkey not in refs:
+                refs[tkey] = (
+                    store.publish(cell.build_trace()) if use_shm else None
+                )
+            ref = refs[tkey]
+            group_id = ref.trace_hash if ref is not None else None
+            groups.setdefault(group_id, []).append((key, cell, ref))
+        queue = deque(
+            item for group in groups.values() for item in group
+        )
+
+        workers = min(jobs, len(queue))
+        window = 2 * workers
+        futures: Dict[Future, Tuple[Any, Any]] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init
+        ) as pool:
+            def _submit_next() -> None:
+                if queue:
+                    key, cell, ref = queue.popleft()
+                    futures[pool.submit(worker, cell, ref)] = (key, cell)
+
+            try:
+                for _ in range(min(window, len(queue))):
+                    _submit_next()
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key, cell = futures.pop(future)
+                        try:
+                            payload = future.result()
+                        except KeyboardInterrupt:
+                            raise
+                        except BaseException as exc:
+                            raise CellExecutionError(
+                                cell.label(), exc
+                            ) from exc
+                        handle(key, cell, payload)
+                        _submit_next()
+            except BaseException:
+                queue.clear()
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+
+
+class _NullStore:
+    """Stand-in store when shared memory is unavailable: cells ship whole."""
+
+    def __enter__(self) -> "_NullStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
 
 
 def execute_cells(
@@ -131,22 +279,17 @@ def execute_cells(
             _note(key, cell)
     elif pending and jobs > 1:
         worker = _compute_cell_profiled if collect_profiles else _compute_cell
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(worker, cell): (key, cell)
-                for key, cell in pending
-            }
-            for future in as_completed(futures):
-                key, cell = futures[future]
-                payload = future.result()
-                if collect_profiles:
-                    metrics = RunMetrics.from_dict(payload["metrics"])
-                    report.add(CellProfile.from_dict(payload["profile"]))
-                else:
-                    metrics = RunMetrics.from_dict(payload)
-                runner.install_result(key, metrics)
-                _note(key, cell)
+
+        def _handle(key: Tuple, cell: Cell, payload: Dict[str, Any]) -> None:
+            if collect_profiles:
+                metrics = RunMetrics.from_dict(payload["metrics"])
+                report.add(CellProfile.from_dict(payload["profile"]))
+            else:
+                metrics = RunMetrics.from_dict(payload)
+            runner.install_result(key, metrics)
+            _note(key, cell)
+
+        run_grouped(pending, jobs, worker, _handle)
 
     if report is not None:
         report.finalize()

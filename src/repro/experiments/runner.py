@@ -125,6 +125,41 @@ class Cell:
             f"scale={self.scale} seed={self.seed}"
         )
 
+    def trace_key(self) -> Tuple:
+        """Identity of this cell's *trace alone* (scheme-independent).
+
+        Cells that share a trace_key replay bit-identical traces, so the
+        parallel executor builds the trace once, publishes it to shared
+        memory, and fans the cells out with a
+        :class:`~repro.traces.shm.TraceRef` each.
+        """
+        if self.kind == "synthetic":
+            return ("synthetic", freeze(self.trace_config))
+        return ("workload", self.workload, self.scale, self.seed)
+
+    def build_trace(self) -> AnyTrace:
+        """Generate this cell's trace in compiled (columnar) form."""
+        if self.kind == "synthetic":
+            assert self.trace_config is not None
+            return generate_compiled(self.trace_config)
+        return build_workload_trace(
+            self.workload, scale=self.scale, seed=self.seed, compiled=True
+        )
+
+    def resolve_config(self) -> ArrayConfig:
+        """This cell's fully-resolved array configuration."""
+        if self.kind == "synthetic":
+            assert self.config is not None
+            return self.config
+        config = self.config
+        if config is None:
+            config = ArrayConfig(n_pairs=self.n_pairs).scaled(self.scale)
+        if self.config_overrides:
+            config = dataclasses.replace(
+                config, **dict(self.config_overrides)
+            )
+        return config
+
     def materialize(self) -> Tuple[AnyTrace, ArrayConfig]:
         """Build this cell's trace and resolved array configuration.
 
@@ -133,34 +168,36 @@ class Cell:
         to the legacy object form (see tests/test_compiled_equivalence.py)
         and skips one boxed ``TraceRecord`` per request.
         """
-        if self.kind == "synthetic":
-            assert self.trace_config is not None and self.config is not None
-            return generate_compiled(self.trace_config), self.config
-        config = self.config
-        if config is None:
-            config = ArrayConfig(n_pairs=self.n_pairs).scaled(self.scale)
-        if self.config_overrides:
-            config = dataclasses.replace(
-                config, **dict(self.config_overrides)
-            )
-        trace = build_workload_trace(
-            self.workload, scale=self.scale, seed=self.seed, compiled=True
-        )
-        return trace, config
+        return self.build_trace(), self.resolve_config()
 
-    def execute(self) -> RunMetrics:
-        """Run the simulation, bypassing every cache layer."""
-        trace, config = self.materialize()
-        return _run(self.scheme, trace, config)
+    def execute(self, trace: Optional[AnyTrace] = None) -> RunMetrics:
+        """Run the simulation, bypassing every cache layer.
 
-    def execute_profiled(self) -> Tuple[RunMetrics, "CellProfile"]:
-        """Run uncached, timing the cell (trace build + simulation)."""
+        ``trace`` lets the parallel executor substitute a shared-memory
+        attachment for the freshly-generated trace; both carry identical
+        records, so metrics are byte-identical either way.
+        """
+        if trace is None:
+            trace = self.build_trace()
+        return _run(self.scheme, trace, self.resolve_config())
+
+    def execute_profiled(
+        self, trace: Optional[AnyTrace] = None
+    ) -> Tuple[RunMetrics, "CellProfile"]:
+        """Run uncached, timing the cell (trace build + simulation).
+
+        With a pre-built ``trace`` the timed window covers only the
+        simulation — trace generation happened elsewhere (the parent, for
+        shared-memory fan-out).
+        """
         import time
 
         from repro.obs.profiler import CellProfile
 
         started = time.perf_counter()
-        trace, config = self.materialize()
+        if trace is None:
+            trace = self.build_trace()
+        config = self.resolve_config()
         sim = Simulator()
         controller = build_controller(self.scheme, sim, config)
         metrics = run_trace(controller, trace)

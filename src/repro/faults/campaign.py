@@ -3,22 +3,25 @@
 A campaign is a grid of :class:`FaultCell`\\ s — one faulted simulation
 each — executed with the same two-layer caching (in-process memo +
 persistent :class:`~repro.experiments.cache.ResultCache`) and process-pool
-fan-out as the main experiment matrix.  Results are
-:class:`~repro.faults.injector.FaultRunResult` payloads; workers ship them
-back as plain dicts, so parallel campaigns are bit-for-bit identical to
-serial ones.
+fan-out as the main experiment matrix, including its shared-memory trace
+store: a campaign sweeping five schemes × five fault times over one
+workload publishes that workload's trace to shared memory once and fans
+out fifty :class:`~repro.traces.shm.TraceRef`-carrying cells.  Results
+are :class:`~repro.faults.injector.FaultRunResult` payloads; workers ship
+them back as plain dicts, so parallel campaigns are bit-for-bit identical
+to serial ones.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments import runner
 from repro.experiments.cache import active_cache
 from repro.faults.injector import FaultRunResult, run_faulted
 from repro.faults.schedule import FaultSchedule
+from repro.traces.compiled import AnyTrace
 
 #: In-process memo of completed fault cells (spec-keyed payload dicts).
 _MEMO: Dict[Tuple, Dict[str, Any]] = {}
@@ -46,9 +49,22 @@ class FaultCell:
     def label(self) -> str:
         return f"{self.base.label()} + [{self.schedule_spec}]"
 
-    def execute(self) -> FaultRunResult:
-        """Run the faulted simulation, bypassing every cache layer."""
-        trace, config = self.base.materialize()
+    def trace_key(self) -> Tuple:
+        """Trace identity (faults never perturb the arrival stream)."""
+        return self.base.trace_key()
+
+    def build_trace(self) -> AnyTrace:
+        return self.base.build_trace()
+
+    def execute(self, trace: Optional[AnyTrace] = None) -> FaultRunResult:
+        """Run the faulted simulation, bypassing every cache layer.
+
+        ``trace`` substitutes a shared-memory attachment for the freshly
+        generated trace (identical records either way).
+        """
+        if trace is None:
+            trace = self.base.build_trace()
+        config = self.base.resolve_config()
         schedule = FaultSchedule.parse(self.schedule_spec)
         return run_faulted(self.base.scheme, config, trace, schedule)
 
@@ -121,9 +137,12 @@ def _install(key: Tuple, payload: Dict[str, Any]) -> None:
         disk.put_payload(key, payload)
 
 
-def _compute_fault_cell(cell: FaultCell) -> Dict[str, Any]:
+def _compute_fault_cell(cell: FaultCell, ref=None) -> Dict[str, Any]:
     """Worker entry point: run one cell, ship its payload dict back."""
-    return cell.execute().to_dict()
+    from repro.traces import shm
+
+    trace = shm.attach_cached(ref) if ref is not None else None
+    return cell.execute(trace=trace).to_dict()
 
 
 def run_campaign(
@@ -151,16 +170,13 @@ def run_campaign(
             progress(f"[{done}/{len(unique)}] {cell.label()}")
 
     if pending and jobs > 1:
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_compute_fault_cell, cell): (key, cell)
-                for key, cell in pending
-            }
-            for future in as_completed(futures):
-                key, cell = futures[future]
-                _install(key, future.result())
-                _note(cell)
+        from repro.experiments.parallel import run_grouped
+
+        def _handle(key: Tuple, cell: FaultCell, payload: Dict[str, Any]):
+            _install(key, payload)
+            _note(cell)
+
+        run_grouped(pending, jobs, _compute_fault_cell, _handle)
     else:
         for key, cell in pending:
             _install(key, cell.execute().to_dict())

@@ -17,6 +17,11 @@ from repro.traces.compiled import (
     compiled_from_events,
 )
 from repro.traces.record import Trace, TraceRecord
+from repro.traces.shm import (
+    SharedCompiledTrace,
+    SharedTraceStore,
+    TraceRef,
+)
 from repro.traces.synthetic import (
     Burstiness,
     SyntheticTraceConfig,
@@ -39,6 +44,9 @@ __all__ = [
     "TRACE_COMPILER_VERSION",
     "compile_trace",
     "compiled_from_events",
+    "SharedCompiledTrace",
+    "SharedTraceStore",
+    "TraceRef",
     "Burstiness",
     "SyntheticTraceConfig",
     "generate_trace",

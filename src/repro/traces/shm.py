@@ -1,0 +1,294 @@
+"""Zero-copy shared-memory publication of compiled traces.
+
+The experiment matrix reuses each trace many times: a five-scheme sweep
+replays the same :class:`~repro.traces.compiled.CompiledTrace` five times,
+and before this module existed every process-pool worker *regenerated* the
+trace from its configuration (or would have paid a multi-megabyte pickle).
+A :class:`SharedTraceStore` makes trace bytes cross the process boundary
+once per distinct trace instead of once per cell:
+
+* the **parent** publishes a compiled trace's columns into one
+  ``multiprocessing.shared_memory`` segment, keyed by the trace's existing
+  sha256 content hash (publishing the same content twice returns the same
+  segment), and hands workers a tiny :class:`TraceRef` — hash, segment
+  name, column dtypes/lengths/offsets — whose pickled size is independent
+  of trace length;
+* a **worker** :func:`attach`\\ es by mapping the segment and wrapping the
+  buffer in :class:`SharedCompiledTrace` — ``memoryview`` columns behind
+  the ordinary :class:`CompiledTrace` surface, so the replay fast path in
+  :class:`repro.core.base.TraceDriver` reads them untouched and zero-copy;
+  :func:`attach_cached` memoizes attachments per process, so consecutive
+  same-trace cells pay nothing.
+
+Lifecycle is parent-owned: the store is a context manager whose
+:meth:`~SharedTraceStore.close` unlinks every segment, with an ``atexit``
+safety net for parents that die without unwinding.  Workers never create
+or unlink segments; on Linux, unlinking while workers are still attached
+is safe (the kernel frees the memory on last unmap).
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import itertools
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.traces.compiled import CompiledTrace
+
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - exotic builds only
+    shared_memory = None  # type: ignore[assignment]
+
+#: Every segment this module creates starts with this prefix, so leak
+#: checks (tests, CI) can census ``/dev/shm`` without false positives.
+SEGMENT_PREFIX = "rolo_trc_"
+
+#: Column starts are padded to this many bytes so ``memoryview.cast`` on
+#: 8-byte dtypes ('d'/'q') is always aligned.
+_ALIGN = 8
+
+_ITEMSIZE = {"d": 8, "q": 8, "B": 1}
+
+#: Segment names created by this process and not yet unlinked (the
+#: fallback census for platforms without a scannable /dev/shm).
+_CREATED: Dict[str, bool] = {}
+
+_seq = itertools.count()
+
+
+def available() -> bool:
+    """Whether shared-memory trace publication is usable here."""
+    return shared_memory is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRef:
+    """Wire-format handle to a published trace.
+
+    This — not the trace — is what crosses the process boundary per cell.
+    ``columns`` holds one ``(typecode, length, byte_offset)`` triple per
+    column in :class:`CompiledTrace` order (arrivals, offsets, sizes,
+    kinds); everything else restores the trace's identity without touching
+    the payload, so the pickled size is a few hundred bytes regardless of
+    trace length.
+    """
+
+    trace_hash: str
+    segment: str
+    name: str
+    footprint_bytes: int
+    columns: Tuple[Tuple[str, int, int], ...]
+
+    @property
+    def n_records(self) -> int:
+        return self.columns[0][1] if self.columns else 0
+
+
+class SharedCompiledTrace(CompiledTrace):
+    """A :class:`CompiledTrace` whose columns live in a shared segment.
+
+    Columns are ``memoryview``\\ s cast onto the mapped buffer — reads go
+    straight to the shared pages, no copy, and the stdlib-``array`` and
+    ``memoryview`` element types are identical, so replay results are
+    byte-for-byte those of the original trace.  Call :meth:`detach` when
+    done to release the views and the mapping (attached traces held by the
+    per-process memo are detached at :func:`detach_all`).
+    """
+
+    __slots__ = ("_shm",)
+
+    def detach(self) -> None:
+        """Release the column views and close this process's mapping."""
+        if self._shm is None:
+            return
+        for view in (self.arrivals, self.offsets, self.sizes, self.kinds):
+            view.release()
+        self._shm.close()
+        self._shm = None
+
+
+class SharedTraceStore:
+    """Parent-side registry of traces published to shared memory.
+
+    Content-addressed: :meth:`publish` keys segments by
+    ``CompiledTrace.content_hash()``, so the five cells of a scheme sweep
+    share one segment.  Owns every segment it creates; :meth:`close`
+    (or the ``with`` statement, or the ``atexit`` safety net) unlinks them
+    all.  Workers must only ever :func:`attach`.
+    """
+
+    def __init__(self) -> None:
+        if shared_memory is None:  # pragma: no cover - exotic builds
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable"
+            )
+        self._segments: Dict[str, "shared_memory.SharedMemory"] = {}
+        self._refs: Dict[str, TraceRef] = {}
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    def publish(self, trace: CompiledTrace) -> TraceRef:
+        """Copy ``trace``'s columns into a shared segment (idempotent).
+
+        Publishing a trace whose content hash is already in the store
+        returns the existing ref without touching the trace again.
+        """
+        if self._closed:
+            raise RuntimeError("SharedTraceStore is closed")
+        trace_hash = trace.content_hash()
+        ref = self._refs.get(trace_hash)
+        if ref is not None:
+            return ref
+
+        columns = (trace.arrivals, trace.offsets, trace.sizes, trace.kinds)
+        specs: List[Tuple[str, int, int]] = []
+        offset = 0
+        for column in columns:
+            typecode = getattr(column, "typecode", None) or column.format
+            offset = _aligned(offset)
+            specs.append((typecode, len(column), offset))
+            offset += len(column) * _ITEMSIZE[typecode]
+
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{next(_seq)}_{trace_hash[:8]}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(offset, 1)
+        )
+        _CREATED[name] = True
+        buf = segment.buf
+        for column, (typecode, length, start) in zip(columns, specs):
+            if length:
+                raw = memoryview(column).cast("B")
+                buf[start : start + len(raw)] = raw
+                raw.release()
+
+        ref = TraceRef(
+            trace_hash=trace_hash,
+            segment=name,
+            name=trace.name,
+            footprint_bytes=trace.footprint_bytes,
+            columns=tuple(specs),
+        )
+        self._segments[name] = segment
+        self._refs[trace_hash] = ref
+        return ref
+
+    def get(self, trace_hash: str) -> Optional[TraceRef]:
+        """The ref published under this content hash, if any."""
+        return self._refs.get(trace_hash)
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    @property
+    def segment_names(self) -> List[str]:
+        return sorted(self._segments)
+
+    def nbytes(self) -> int:
+        """Total shared bytes held by this store's segments."""
+        return sum(seg.size for seg in self._segments.values())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every segment this store created (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        for name, segment in self._segments.items():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            _CREATED.pop(name, None)
+        self._segments.clear()
+        self._refs.clear()
+
+    def __enter__(self) -> "SharedTraceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-process memo of attached traces, keyed by content hash.  Workers
+#: executing consecutive same-trace cells hit this and pay zero attach
+#: cost; pool workers are short-lived, so entries die with the process.
+_ATTACHED: Dict[str, SharedCompiledTrace] = {}
+
+
+def attach(ref: TraceRef) -> SharedCompiledTrace:
+    """Map ``ref``'s segment and wrap it as a zero-copy compiled trace."""
+    if shared_memory is None:  # pragma: no cover - exotic builds
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    segment = shared_memory.SharedMemory(name=ref.segment)
+    views = []
+    for typecode, length, start in ref.columns:
+        nbytes = length * _ITEMSIZE[typecode]
+        views.append(segment.buf[start : start + nbytes].cast(typecode))
+    trace = SharedCompiledTrace(
+        *views, name=ref.name, footprint_bytes=ref.footprint_bytes
+    )
+    trace._hash = ref.trace_hash  # pre-seeded: never re-hash 25 MB
+    trace._shm = segment
+    return trace
+
+
+def attach_cached(ref: TraceRef) -> SharedCompiledTrace:
+    """Attach with the per-process memo (the pool workers' entry point)."""
+    trace = _ATTACHED.get(ref.trace_hash)
+    if trace is None:
+        trace = attach(ref)
+        _ATTACHED[ref.trace_hash] = trace
+    return trace
+
+
+def attached_count() -> int:
+    """How many traces this process currently has memo-attached."""
+    return len(_ATTACHED)
+
+
+def detach_all() -> None:
+    """Drop the attach memo, releasing every mapping this process holds."""
+    for trace in _ATTACHED.values():
+        trace.detach()
+    _ATTACHED.clear()
+
+
+# ----------------------------------------------------------------------
+# Leak census (tests / CI)
+# ----------------------------------------------------------------------
+def leaked_segments() -> List[str]:
+    """Names of rolo trace segments still present on the system.
+
+    On Linux this scans ``/dev/shm`` for :data:`SEGMENT_PREFIX` entries —
+    the authoritative census CI asserts empty.  Elsewhere it probes the
+    names this process created and has not unlinked.
+    """
+    if os.path.isdir("/dev/shm"):
+        try:
+            names = os.listdir("/dev/shm")
+        except OSError:  # pragma: no cover - permission oddities
+            names = []
+        return sorted(n for n in names if n.startswith(SEGMENT_PREFIX))
+    leaked = []  # pragma: no cover - non-Linux fallback
+    for name in list(_CREATED):
+        try:
+            probe = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            _CREATED.pop(name, None)
+        else:
+            probe.close()
+            leaked.append(name)
+    return sorted(leaked)
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN

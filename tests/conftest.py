@@ -15,6 +15,25 @@ KB = 1024
 MB = 1024 * KB
 
 
+@pytest.fixture(autouse=True, scope="session")
+def assert_no_leaked_shm_segments():
+    """The whole suite must leave ``/dev/shm`` the way it found it.
+
+    Every shared-memory segment the trace store creates carries the
+    ``rolo_trc_`` prefix, so any survivor here is a store whose lifecycle
+    (context manager, error path, or atexit net) failed to unlink.
+    """
+    from repro.traces import shm
+
+    preexisting = set(shm.leaked_segments())
+    yield
+    shm.detach_all()
+    leaked = set(shm.leaked_segments()) - preexisting
+    assert not leaked, (
+        f"test suite leaked shared-memory segments: {sorted(leaked)}"
+    )
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

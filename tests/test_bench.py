@@ -27,6 +27,9 @@ def test_scenario_names_are_pinned():
         "matrix:rolo-r:mixed",
         "matrix:rolo-e:mixed",
         "fault:rolo-p:write-heavy",
+        "sweep:matrix-full:jobs1",
+        "sweep:matrix-full:jobs2",
+        "sweep:matrix-full:jobs4",
     ]
     quick = bench.scenario_names(quick=True)
     assert quick[0] == "compile:synthetic-100k"

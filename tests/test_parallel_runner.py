@@ -5,11 +5,13 @@ These tests pin the PR's core invariant: running cells on a process pool
 the same ``RunMetrics`` as the serial in-process path.
 """
 
+import os
+
 import pytest
 
 from repro.experiments import cache as result_cache
 from repro.experiments import clear_cache, get_experiment
-from repro.experiments.parallel import execute_cells
+from repro.experiments.parallel import default_jobs, execute_cells
 from repro.experiments.runner import (
     reset_run_stats,
     run_scheme_set_seeds,
@@ -81,6 +83,26 @@ class TestParallelDeterminism:
         stats = execute_cells(cells, jobs=1)
         assert stats.computed == 0  # nothing runs on the pool
         assert run_stats()["computed"] == 0
+
+
+class TestDefaultJobs:
+    def test_respects_cpu_affinity_mask(self, monkeypatch):
+        # A container pinned to 2 of 64 cores must start 2 workers.
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 5}, raising=False
+        )
+        assert default_jobs() == 2
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert default_jobs() == 6
+
+    def test_never_returns_zero(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert default_jobs() == 1
 
 
 class TestWarmCacheDeterminism:
