@@ -438,8 +438,11 @@ def compare(
         current = results.get(name)
         base = baseline.get(name)
         if current is None or base is None:
+            # A scenario absent from the baseline is *new* — bench families
+            # can grow without touching the committed baseline in the same
+            # change (it never gates either way).
             scenarios[name] = {
-                "status": "only-current" if current else "only-baseline"
+                "status": "new" if current else "only-baseline"
             }
             continue
         cur_rate = _rate_of(current)
@@ -488,6 +491,8 @@ def format_table(
             delta = f"{entry['speedup']:.2f}x"
             if entry.get("status") == "regression":
                 delta += " REGRESSION"
+        elif entry.get("status") == "new":
+            delta = "new"
         else:
             delta = "-"
         if rate:
@@ -516,6 +521,209 @@ def format_table(
             "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(row))
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Cross-run trend analysis (``rolo bench trend BENCH_*.json``)
+# ----------------------------------------------------------------------
+#: A consecutive-run throughput change beyond this fraction is flagged.
+TREND_THRESHOLD = 0.10
+
+
+def trend(
+    paths: List[str], threshold: float = TREND_THRESHOLD
+) -> Dict[str, Any]:
+    """Per-scenario throughput trajectory across an ordered run sequence.
+
+    ``paths`` are BENCH report files in chronological order (oldest
+    first).  For every scenario the rate series is extracted via
+    :func:`_rate_of`; each consecutive pair of *present* rates is diffed
+    and changes beyond ``threshold`` (either direction) are recorded as
+    drifts — regressions when throughput fell, improvements when it rose.
+    Scenarios absent from a run simply skip it (families grow over time).
+    """
+    if len(paths) < 2:
+        raise ValueError("trend needs at least two bench reports")
+    runs = []
+    for path in paths:
+        runs.append(
+            {
+                "path": path,
+                "label": os.path.splitext(os.path.basename(path))[0],
+                "scenarios": load_baseline(path),
+            }
+        )
+    names: set = set()
+    for run in runs:
+        names.update(run["scenarios"])
+    scenarios: Dict[str, Any] = {}
+    flagged: List[str] = []
+    for name in sorted(names):
+        rates: List[Optional[float]] = []
+        for run in runs:
+            result = run["scenarios"].get(name)
+            rates.append(_rate_of(result) if result is not None else None)
+        drifts = []
+        previous_index: Optional[int] = None
+        for index, rate in enumerate(rates):
+            if rate is None:
+                continue
+            if previous_index is not None:
+                previous = rates[previous_index]
+                change = (rate - previous) / previous
+                if abs(change) > threshold:
+                    drifts.append(
+                        {
+                            "from": runs[previous_index]["label"],
+                            "to": runs[index]["label"],
+                            "change": round(change, 4),
+                            "direction": (
+                                "regression" if change < 0 else "improvement"
+                            ),
+                        }
+                    )
+            previous_index = index
+        scenarios[name] = {"rates": rates, "drifts": drifts}
+        if any(d["direction"] == "regression" for d in drifts):
+            flagged.append(name)
+    return {
+        "threshold": threshold,
+        "runs": [run["label"] for run in runs],
+        "scenarios": scenarios,
+        "flagged": flagged,
+    }
+
+
+def format_trend(report: Dict[str, Any]) -> str:
+    """Terminal table: one scenario per row, one column per run."""
+    labels = report["runs"]
+    header = ("scenario", *labels, "drift")
+    rows = []
+    for name in sorted(report["scenarios"]):
+        entry = report["scenarios"][name]
+        cells = [
+            "-" if rate is None else _fmt_rate(rate)
+            for rate in entry["rates"]
+        ]
+        if entry["drifts"]:
+            notes = []
+            for drift in entry["drifts"]:
+                arrow = "v" if drift["direction"] == "regression" else "^"
+                notes.append(f"{arrow}{abs(drift['change']) * 100:.1f}%")
+            drift_text = " ".join(notes)
+        else:
+            drift_text = "-"
+        rows.append((name, *cells, drift_text))
+    widths = [
+        max(len(str(row[i])) for row in rows + [header])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(header))
+    ]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(row))
+        )
+    if report["flagged"]:
+        lines.append(
+            f"flagged regressions (> {report['threshold'] * 100:.0f}%): "
+            + ", ".join(report["flagged"])
+        )
+    else:
+        lines.append(
+            f"no drifts beyond {report['threshold'] * 100:.0f}% detected"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_rate(rate: float) -> str:
+    return f"{rate:,.0f}" if rate >= 100 else f"{rate:,.2f}"
+
+
+def render_trend_html(report: Dict[str, Any]) -> str:
+    """Self-contained HTML trend report with inline SVG trajectories.
+
+    Each scenario's rates are normalized to its first present run so
+    heterogeneous magnitudes (engine ev/s vs sweep cells/s) share one
+    axis; charts are chunked to the SVG palette width.
+    """
+    from repro.experiments.report import Series
+    from repro.experiments.svg import PALETTE, render_chart_svg
+
+    labels = report["runs"]
+    series_list = []
+    for name in sorted(report["scenarios"]):
+        entry = report["scenarios"][name]
+        first = next((r for r in entry["rates"] if r is not None), None)
+        if not first:
+            continue
+        series = Series(
+            name=name, x_label="run", y_label="relative throughput"
+        )
+        for index, rate in enumerate(entry["rates"]):
+            if rate is not None:
+                series.add(index, rate / first)
+        series_list.append(series)
+    charts = []
+    for start in range(0, len(series_list), len(PALETTE)):
+        chunk = series_list[start : start + len(PALETTE)]
+        charts.append(
+            render_chart_svg(
+                chunk, f"throughput vs first run ({chunk[0].name} ...)"
+            )
+        )
+    rows = []
+    for name in sorted(report["scenarios"]):
+        entry = report["scenarios"][name]
+        cells = "".join(
+            f"<td>{'-' if rate is None else _fmt_rate(rate)}</td>"
+            for rate in entry["rates"]
+        )
+        drift = (
+            " ".join(
+                f"<span class={drift['direction']!r}>"
+                f"{drift['change'] * 100:+.1f}%</span>"
+                for drift in entry["drifts"]
+            )
+            or "-"
+        )
+        rows.append(f"<tr><td>{name}</td>{cells}<td>{drift}</td></tr>")
+    heads = "".join(f"<th>{label}</th>" for label in labels)
+    flagged = (
+        ", ".join(report["flagged"]) if report["flagged"] else "none"
+    )
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>bench trend</title>
+<style>
+body {{ font-family: -apple-system, sans-serif; margin: 2rem; }}
+table {{ border-collapse: collapse; }}
+td, th {{ border: 1px solid #ccc; padding: 0.3rem 0.6rem;
+          text-align: right; }}
+td:first-child, th:first-child {{ text-align: left; }}
+.regression {{ color: #c0392b; font-weight: bold; }}
+.improvement {{ color: #1e8449; }}
+</style></head><body>
+<h1>Bench trend</h1>
+<p>runs: {" &rarr; ".join(labels)} &middot;
+threshold: {report["threshold"] * 100:.0f}% &middot;
+flagged regressions: {flagged}</p>
+<table><tr><th>scenario</th>{heads}<th>drift</th></tr>
+{chr(10).join(rows)}
+</table>
+{chr(10).join(charts)}
+</body></html>
+"""
+
+
+def write_trend_html(report: Dict[str, Any], path: str) -> str:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_trend_html(report))
+    return path
 
 
 # ----------------------------------------------------------------------

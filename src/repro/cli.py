@@ -16,6 +16,11 @@ Subcommands::
     rolo bench --quick                # pinned perf matrix + regression gate
     rolo bench --out BENCH_6.json     # full matrix, write the JSON report
     rolo bench --only sweep           # just the end-to-end sweep scenarios
+    rolo bench trend BENCH_*.json     # cross-run throughput drift report
+    rolo simulate rolo-p src2_2 --metrics m.prom   # metered run + snapshot
+    rolo run fig10 --progress         # live progress/ETA + worker table
+    rolo top metrics.jsonl            # render a metrics snapshot
+    rolo report --out report.html     # latency/power run report
 
 ``rolo run`` fans uncached simulation cells out over a process pool
 (``--jobs N``, default: all cores; ``--jobs 1`` is the exact serial path)
@@ -78,6 +83,18 @@ def _run_experiments(args: argparse.Namespace) -> int:
         ids = [e.experiment_id for e in list_experiments()]
     else:
         ids = [args.experiment]
+    # --progress/--metrics-out meter the sweep (dispatcher telemetry +
+    # per-cell latency/power registries); metering is observe-only, so
+    # results are byte-identical either way.  --profile keeps its own
+    # report and forgoes the registry (the collectors are exclusive).
+    collect_metrics = (args.progress or args.metrics_out) and not args.profile
+    sweep_progress = None
+    progress = None
+    if args.progress:
+        from repro.experiments.parallel import SweepProgress
+
+        sweep_progress = progress = SweepProgress()
+    merged_metrics = None
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
         kwargs = {}
@@ -92,10 +109,21 @@ def _run_experiments(args: argparse.Namespace) -> int:
         # an enumerator (or with jobs=1) simply run serially below.
         cells = experiment.cells(seed=args.seed, **kwargs)
         stats = (
-            execute_cells(cells, jobs=jobs, collect_profiles=args.profile)
+            execute_cells(
+                cells,
+                jobs=jobs,
+                progress=progress,
+                collect_profiles=args.profile,
+                collect_metrics=collect_metrics,
+            )
             if cells
             else CellExecution(jobs=jobs)
         )
+        if stats.metrics is not None:
+            if merged_metrics is None:
+                merged_metrics = stats.metrics
+            else:
+                merged_metrics.merge(stats.metrics)
         try:
             report = experiment.run(seed=args.seed, **kwargs)
         except TypeError:
@@ -127,6 +155,16 @@ def _run_experiments(args: argparse.Namespace) -> int:
 
             for path in report_to_svgs(report, args.svg_dir):
                 print(f"wrote {path}")
+    if merged_metrics is not None:
+        from repro.obs.metrics import format_sweep_table
+
+        print(format_sweep_table(merged_metrics))
+        if args.metrics_out:
+            count = merged_metrics.write_jsonl(args.metrics_out)
+            print(
+                f"[metrics] wrote {count} metric families to "
+                f"{args.metrics_out}"
+            )
     return 0
 
 
@@ -142,6 +180,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"total bytes:     {info['total_bytes']}")
         print(f"schema version:  {info['schema_version']}")
         print(f"package version: {info['package_version']}")
+        from repro.traces import shm
+
+        leaked = shm.leaked_segments()
+        print(f"shm segments:    {len(leaked)} leaked")
+        for name in leaked:
+            print(f"  /dev/shm/{name}")
     else:  # clear
         removed = store.clear()
         print(f"removed {removed} cache entries from {store.directory}")
@@ -178,6 +222,15 @@ def _cmd_mttdl(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     observed = args.trace or args.sample_interval is not None or args.profile
+    if args.metrics and observed:
+        print(
+            "--metrics cannot combine with --trace/--sample-interval/"
+            "--profile (one observer per run)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.metrics:
+        return _simulate_metered(args)
     if observed:
         from repro.experiments.runner import run_cell_observed, workload_cell
         from repro.obs import write_chrome_trace, write_jsonl
@@ -234,6 +287,108 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_metered(args: argparse.Namespace) -> int:
+    """``rolo simulate ... --metrics PATH``: one metered run + snapshot."""
+    from repro.experiments.runner import workload_cell
+    from repro.obs.metrics import TRACKED_QUANTILES
+
+    cell = workload_cell(
+        args.scheme,
+        args.workload,
+        scale=args.scale,
+        n_pairs=args.pairs or 20,
+        seed=args.seed,
+    )
+    metrics, registry = cell.execute_metered()
+    print(metrics.summary())
+    for op in ("read", "write"):
+        histogram = registry.get(
+            "request_latency_seconds",
+            op=op,
+            scheme=_scheme_label(registry),
+        )
+        if histogram is None or not histogram.count:
+            continue
+        quantiles = "  ".join(
+            f"p{round(q * 100)}={histogram.quantile(q) * 1e3:.2f}ms"
+            for q in TRACKED_QUANTILES[:3]
+        )
+        print(f"  {op:5s} latency: {quantiles}")
+    fmt = args.metrics_format
+    if fmt == "auto":
+        fmt = (
+            "prom"
+            if args.metrics.endswith((".prom", ".txt"))
+            else "jsonl"
+        )
+    if fmt == "prom":
+        registry.write_prometheus(args.metrics)
+        print(f"[metrics] wrote Prometheus text to {args.metrics}")
+    else:
+        count = registry.write_jsonl(args.metrics)
+        print(
+            f"[metrics] wrote {count} metric families to {args.metrics}"
+        )
+    return 0
+
+
+def _scheme_label(registry) -> str:
+    """The scheme label the instrumentation stamped (e.g. ``RoLo-P``)."""
+    for _, labels, _ in registry.samples():
+        if "scheme" in labels:
+            return labels["scheme"]
+    return "?"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import read_snapshot, render_registry
+
+    try:
+        registry = read_snapshot(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read snapshot: {exc}", file=sys.stderr)
+        return 2
+    print(render_registry(registry))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runreport import (
+        build_run_report,
+        render_markdown,
+        report_cells,
+        write_report,
+    )
+
+    previous_cache = result_cache.active_cache()
+    result_cache.configure(
+        directory=args.cache_dir, enabled=not args.no_cache
+    )
+    try:
+        cells = report_cells(
+            schemes=args.schemes.split(","),
+            workloads=args.workloads.split(","),
+            scale=args.scale,
+            n_pairs=args.pairs or 20,
+            seed=args.seed,
+        )
+        report = build_run_report(
+            cells, jobs=args.jobs, title=args.title
+        )
+    finally:
+        result_cache.configure(
+            directory=previous_cache.directory if previous_cache else None,
+            enabled=previous_cache is not None,
+        )
+    if args.out:
+        fmt = None if args.format == "auto" else args.format
+        path = write_report(report, args.out, fmt=fmt)
+        print(f"[report] wrote {path}")
+    else:
+        print(render_markdown(report))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import read_events, summarize_events
 
@@ -249,6 +404,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     from repro import bench
+
+    if args.bench_command == "trend":
+        return _bench_trend(args)
+    if args.files:
+        print(
+            "bench takes file arguments only with the 'trend' "
+            "subcommand (rolo bench trend BENCH_*.json)",
+            file=sys.stderr,
+        )
+        return 2
 
     mode = "quick" if args.quick else "full"
     only = args.only.split(",") if args.only else None
@@ -295,6 +460,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _bench_trend(args: argparse.Namespace) -> int:
+    """``rolo bench trend A.json B.json ...``: cross-run drift report."""
+    from repro import bench
+
+    if len(args.files) < 2:
+        print(
+            "bench trend needs at least two BENCH report files "
+            "(oldest first)",
+            file=sys.stderr,
+        )
+        return 2
+    threshold = (
+        args.threshold if args.threshold is not None else bench.TREND_THRESHOLD
+    )
+    report = bench.trend(args.files, threshold=threshold)
+    print(bench.format_trend(report))
+    if args.html:
+        path = bench.write_trend_html(report, args.html)
+        print(f"[bench] wrote {path}")
+    # Drift is informational: trend never gates (the per-run tolerance
+    # gate in ``rolo bench`` does), so flagged runs still exit 0.
     return 0
 
 
@@ -370,12 +559,30 @@ def _faults_campaign(args: argparse.Namespace) -> int:
         n_pairs=args.pairs or 4,
         seed=args.seed,
     )
-    results = run_campaign(
-        cells,
-        jobs=jobs,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    registry = None
+    if args.progress:
+        from repro.experiments.parallel import SweepProgress
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        results = run_campaign(
+            cells,
+            jobs=jobs,
+            progress=SweepProgress(),
+            collect_metrics=True,
+            registry=registry,
+        )
+    else:
+        results = run_campaign(
+            cells,
+            jobs=jobs,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
     summary = campaign_summary(cells, results)
+    if registry is not None:
+        from repro.obs.metrics import format_sweep_table
+
+        print(format_sweep_table(registry), file=sys.stderr)
     width = max(len(row["schedule"]) for row in summary["rows"])
     for row in summary["rows"]:
         verdict = "OK" if row["consistent"] else "INCONSISTENT"
@@ -442,6 +649,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report per-cell wall time, event counts and events/sec",
     )
+    run_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="single-line live progress/ETA plus a final per-worker "
+        "utilization table",
+    )
+    run_p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the sweep's merged metrics registry as a JSONL "
+        "snapshot (render with 'rolo top')",
+    )
     run_p.set_defaults(fn=_cmd_run)
 
     cache_p = sub.add_parser(
@@ -503,7 +723,59 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report wall time, events processed and events/sec",
     )
+    sim_p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="run metered and write the registry snapshot here "
+        "(.prom/.txt -> Prometheus text, otherwise JSONL)",
+    )
+    sim_p.add_argument(
+        "--metrics-format",
+        choices=("auto", "prom", "jsonl"),
+        default="auto",
+        help="snapshot format (default: by --metrics extension)",
+    )
     sim_p.set_defaults(fn=_cmd_simulate)
+
+    top_p = sub.add_parser(
+        "top", help="render a metrics JSONL snapshot as a summary table"
+    )
+    top_p.add_argument("file", help="snapshot from --metrics/--metrics-out")
+    top_p.set_defaults(fn=_cmd_top)
+
+    report_p = sub.add_parser(
+        "report",
+        help="latency/power run report (markdown or self-contained HTML)",
+    )
+    report_p.add_argument(
+        "--schemes", default="raid10,graid,rolo-p,rolo-r,rolo-e"
+    )
+    report_p.add_argument("--workloads", default="src2_2")
+    report_p.add_argument("--scale", type=float, default=None)
+    report_p.add_argument("--pairs", type=int, default=None)
+    report_p.add_argument("--seed", type=int, default=42)
+    report_p.add_argument(
+        "--jobs", type=int, default=None, help="worker processes"
+    )
+    report_p.add_argument(
+        "--title", default="RoLo run report", help="report heading"
+    )
+    report_p.add_argument(
+        "--out",
+        default=None,
+        help="write here (.html -> HTML with inline SVG charts, "
+        "otherwise markdown; default: print markdown)",
+    )
+    report_p.add_argument(
+        "--format",
+        choices=("auto", "html", "markdown"),
+        default="auto",
+        help="output format (default: by --out extension)",
+    )
+    report_p.add_argument("--no-cache", action="store_true")
+    report_p.add_argument("--cache-dir", default=None)
+    report_p.set_defaults(fn=_cmd_report)
 
     trace_p = sub.add_parser(
         "trace", help="inspect a recorded event trace"
@@ -515,6 +787,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p = sub.add_parser(
         "bench",
         help="run the pinned performance benchmark matrix",
+    )
+    bench_p.add_argument(
+        "bench_command",
+        nargs="?",
+        choices=("trend",),
+        default=None,
+        help="'trend': diff scenario throughput across BENCH reports "
+        "instead of running the matrix",
+    )
+    bench_p.add_argument(
+        "files",
+        nargs="*",
+        default=[],
+        help="BENCH report files for 'trend' (oldest first)",
+    )
+    bench_p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="fractional throughput change 'trend' flags (default: 0.10)",
+    )
+    bench_p.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help="also write the 'trend' report as self-contained HTML",
     )
     bench_p.add_argument(
         "--quick",
@@ -605,6 +903,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, help="worker processes"
     )
     camp_p.add_argument("--json", help="write the summary as JSON here")
+    camp_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="single-line live progress/ETA plus a final per-worker "
+        "utilization table",
+    )
     camp_p.add_argument("--no-cache", action="store_true")
     camp_p.add_argument("--cache-dir", default=None)
     camp_p.set_defaults(fn=_cmd_faults)

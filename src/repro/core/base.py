@@ -54,6 +54,8 @@ class Controller(abc.ABC):
         # below guards with one identity check.
         self.tracer = tracer if tracer else None
         self._finalized = False
+        #: Reads routed around a failed copy (degraded-mode service count).
+        self.degraded_reads = 0
         self._pending_sleep: Dict[Disk, Callable[[Disk], None]] = {}
         #: failed disk -> in-progress replacement (empty until a rebuild).
         self._rebuilding: Dict[Disk, Disk] = {}
@@ -209,6 +211,8 @@ class Controller(abc.ABC):
         ]
         if not alive:
             raise DataLossError(f"pair {pair} has lost both copies")
+        if len(alive) == 1:
+            self.degraded_reads += 1
         return min(alive, key=lambda d: d.queue_depth)
 
     def _unit_coverage(self, offset: int, nbytes: int):

@@ -97,12 +97,17 @@ class RunMetrics:
         self.read_misses = 0
         self.cycles: List[CycleWindow] = []
         self.deactivations = 0
+        # Optional observer ``(is_write, seconds)`` fired per response.
+        # Not serialized; observe-only (the metrics registry hooks here).
+        self.on_response = None
 
     # ------------------------------------------------------------------
     def record_response(self, is_write: bool, seconds: float) -> None:
         self.requests += 1
         self.response_time.add(seconds)
         self.response_histogram.add(seconds)
+        if self.on_response is not None:
+            self.on_response(is_write, seconds)
         if is_write:
             self.writes += 1
             self.write_response_time.add(seconds)
@@ -251,6 +256,9 @@ class RunMetrics:
         }
         clone.energy_by_state = dict(self.energy_by_state)
         clone.cycles = [dataclasses.replace(c) for c in self.cycles]
+        # The snapshot is a frozen result object; it must not keep firing
+        # (or pickling) the live run's response observer.
+        clone.on_response = None
         return clone
 
     # ------------------------------------------------------------------

@@ -143,6 +143,9 @@ class Disk:
                 name, None, initial_state.value, sim.now
             )
             self.power.on_transition = self._trace_power
+        # Metrics: optional ``op_observer(disk, op)`` fired per completed
+        # operation, same observe-only discipline as the tracer guard.
+        self.op_observer = None
         self._queues: List[Deque[DiskOp]] = [
             collections.deque() for _ in Priority
         ]
@@ -350,6 +353,9 @@ class Disk:
                 op.start_time,
                 now,
             )
+        observer = self.op_observer
+        if observer is not None:
+            observer(self, op)
         if op.on_complete is not None:
             op.on_complete(op)
         if self._queues[0] or self._queues[1]:

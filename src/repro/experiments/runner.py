@@ -210,6 +210,32 @@ class Cell:
         )
         return metrics, profile
 
+    def execute_metered(
+        self,
+        trace: Optional[AnyTrace] = None,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> Tuple[RunMetrics, "MetricsRegistry"]:
+        """Run uncached with the metrics registry instrumented in.
+
+        Returns ``(metrics, registry)``; the registry accumulates, so one
+        instance can meter many cells (or merge with worker registries).
+        Instrumentation observes only — ``metrics`` is byte-identical to
+        :meth:`execute` (pinned in tests/test_metrics_registry.py).
+        """
+        from repro.obs.metrics import MetricsRegistry, instrument
+
+        if registry is None:
+            registry = MetricsRegistry()
+        if trace is None:
+            trace = self.build_trace()
+        config = self.resolve_config()
+        sim = Simulator()
+        controller = build_controller(self.scheme, sim, config)
+        with instrument(sim, controller, registry):
+            metrics = run_trace(controller, trace)
+        controller.assert_consistent()
+        return metrics, registry
+
 
 def workload_cell(
     scheme: str,

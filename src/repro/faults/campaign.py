@@ -68,6 +68,27 @@ class FaultCell:
         schedule = FaultSchedule.parse(self.schedule_spec)
         return run_faulted(self.base.scheme, config, trace, schedule)
 
+    def execute_metered(
+        self, trace: Optional[AnyTrace] = None, registry=None
+    ) -> Tuple[FaultRunResult, Any]:
+        """Run uncached with the metrics registry instrumented in.
+
+        Returns ``(result, registry)``.  Metering observes only: the
+        result is byte-identical to :meth:`execute`.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry()
+        if trace is None:
+            trace = self.base.build_trace()
+        config = self.base.resolve_config()
+        schedule = FaultSchedule.parse(self.schedule_spec)
+        result = run_faulted(
+            self.base.scheme, config, trace, schedule, registry=registry
+        )
+        return result, registry
+
 
 def fault_cell(
     scheme: str,
@@ -145,12 +166,39 @@ def _compute_fault_cell(cell: FaultCell, ref=None) -> Dict[str, Any]:
     return cell.execute(trace=trace).to_dict()
 
 
+def _compute_fault_cell_metered(cell: FaultCell, ref=None) -> Dict[str, Any]:
+    """Worker entry point with the metrics registry instrumented in."""
+    from repro.traces import shm
+
+    trace = shm.attach_cached(ref) if ref is not None else None
+    result, registry = cell.execute_metered(trace=trace)
+    return {"result": result.to_dict(), "registry": registry.to_dict()}
+
+
 def run_campaign(
     cells: Iterable[FaultCell],
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    collect_metrics: bool = False,
+    registry=None,
 ) -> List[FaultRunResult]:
-    """Execute (or fetch) every cell; returns results in input order."""
+    """Execute (or fetch) every cell; returns results in input order.
+
+    ``progress`` may be a plain ``callable(str)`` or a
+    :class:`~repro.experiments.parallel.SweepProgress` (throttled
+    single-line rendering with ETA).  With ``collect_metrics=True``
+    computed cells run instrumented and worker registries merge into
+    ``registry`` (created if omitted) along with dispatcher telemetry;
+    the cached payloads stay byte-identical either way.  Metering only
+    covers cells computed in this call — cached cells contribute nothing.
+    """
+    from repro.experiments.parallel import SweepProgress
+
+    if collect_metrics and registry is None:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+
     cell_list = list(cells)
     unique: Dict[Tuple, FaultCell] = {}
     for cell in cell_list:
@@ -162,26 +210,54 @@ def run_campaign(
         if _lookup(key) is None
     ]
     done = len(unique) - len(pending)
+    if isinstance(progress, SweepProgress):
+        progress.start(len(unique), done=done)
 
     def _note(cell: FaultCell) -> None:
         nonlocal done
         done += 1
         if progress is not None:
-            progress(f"[{done}/{len(unique)}] {cell.label()}")
+            if isinstance(progress, SweepProgress):
+                progress(cell.label())
+            else:
+                progress(f"[{done}/{len(unique)}] {cell.label()}")
 
     if pending and jobs > 1:
         from repro.experiments.parallel import run_grouped
 
-        def _handle(key: Tuple, cell: FaultCell, payload: Dict[str, Any]):
-            _install(key, payload)
-            _note(cell)
+        if collect_metrics:
+            from repro.obs.metrics import MetricsRegistry
 
-        run_grouped(pending, jobs, _compute_fault_cell, _handle)
+            def _handle(key: Tuple, cell: FaultCell, payload: Dict[str, Any]):
+                _install(key, payload["result"])
+                registry.merge(MetricsRegistry.from_dict(payload["registry"]))
+                _note(cell)
+
+            run_grouped(
+                pending,
+                jobs,
+                _compute_fault_cell_metered,
+                _handle,
+                telemetry=registry,
+            )
+        else:
+
+            def _handle(key: Tuple, cell: FaultCell, payload: Dict[str, Any]):
+                _install(key, payload)
+                _note(cell)
+
+            run_grouped(pending, jobs, _compute_fault_cell, _handle)
     else:
         for key, cell in pending:
-            _install(key, cell.execute().to_dict())
+            if collect_metrics:
+                result, _ = cell.execute_metered(registry=registry)
+                _install(key, result.to_dict())
+            else:
+                _install(key, cell.execute().to_dict())
             _note(cell)
 
+    if isinstance(progress, SweepProgress):
+        progress.finish()
     return [
         FaultRunResult.from_dict(_lookup(cell.key()))
         for cell in cell_list

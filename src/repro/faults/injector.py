@@ -290,12 +290,17 @@ def run_faulted(
     schedule: FaultSchedule,
     with_oracle: bool = True,
     tracer=None,
+    registry=None,
 ) -> FaultRunResult:
     """Replay ``trace`` under ``schedule`` and report the fault outcome.
 
     The simulation is drained to completion, so any rebuild started by the
     schedule has finished (and been oracle-checked) by the time this
     returns.  A final ``end`` sweep covers schedules without rebuilds.
+
+    With a metrics ``registry`` the run is instrumented (latency/power
+    histograms, degraded-read counts); like the oracle and tracer, the
+    registry observes only, so metered fault runs stay byte-identical.
     """
     sim = Simulator()
     oracle = ConsistencyOracle() if with_oracle else None
@@ -304,7 +309,13 @@ def run_faulted(
     )
     injector = FaultInjector(sim, controller, schedule, oracle=oracle)
     injector.arm()
-    metrics = run_trace(controller, trace)
+    if registry is not None:
+        from repro.obs.metrics import instrument
+
+        with instrument(sim, controller, registry):
+            metrics = run_trace(controller, trace)
+    else:
+        metrics = run_trace(controller, trace)
     injector._check("end")
     return FaultRunResult(
         scheme=scheme,

@@ -8,6 +8,24 @@ the disabled path (:data:`NULL_TRACER`) adds no work to the optimized
 simulator loop.
 """
 
+from repro.obs.metrics import (
+    MetricCounter,
+    Gauge,
+    MetricHistogram,
+    MetricsRegistry,
+    P2Quantile,
+    RunInstrumentation,
+    active,
+    disable,
+    enable,
+    enabled,
+    format_sweep_table,
+    instrument,
+    lint_prometheus,
+    log_buckets,
+    read_snapshot,
+    render_registry,
+)
 from repro.obs.export import (
     read_events,
     summarize_events,
@@ -53,4 +71,20 @@ __all__ = [
     "ProfileReport",
     "SimulatorProbe",
     "merge_label_counts",
+    "MetricCounter",
+    "Gauge",
+    "MetricHistogram",
+    "MetricsRegistry",
+    "P2Quantile",
+    "RunInstrumentation",
+    "active",
+    "disable",
+    "enable",
+    "enabled",
+    "format_sweep_table",
+    "instrument",
+    "lint_prometheus",
+    "log_buckets",
+    "read_snapshot",
+    "render_registry",
 ]

@@ -1,0 +1,1344 @@
+"""Process-wide-optional metrics registry: counters, gauges, histograms.
+
+RoLo's claims are distributional — §IV argues energy savings must not cost
+tail response time — so the repo needs percentile views of latency and
+power, not just the means in :class:`~repro.core.metrics.RunMetrics`.
+This module provides them without sample retention:
+
+* :class:`MetricCounter` / :class:`Gauge` — labeled scalars.
+* :class:`MetricHistogram` — fixed log-spaced buckets **plus** a P²
+  (Jain & Chlamtáč 1985) streaming quantile sketch per tracked quantile
+  (p50/p95/p99/p999).  O(1) memory per histogram regardless of sample
+  count.
+* :class:`MetricsRegistry` — the family store, with an associative
+  :meth:`~MetricsRegistry.merge` (worker registries fold into the
+  parent's in any order), exact :meth:`~MetricsRegistry.to_dict` /
+  :meth:`~MetricsRegistry.from_dict` round-trips, and exporters for
+  Prometheus text format and JSONL snapshots.
+* :func:`instrument` — attaches a registry to one simulation run
+  (engine event dispatch + heap census, disk service times, power-state
+  residency, controller counters).  Instrumentation observes only:
+  metered runs produce :class:`RunMetrics` byte-identical to unmetered
+  ones (tests/test_metrics_registry.py pins this for all five schemes,
+  traced and fault-injected).
+
+The registry is *process-wide-optional*: :func:`enable` installs one as
+the ambient default, :func:`active` reads it, and everything costs
+nothing when disabled (the hot paths guard with a single ``None`` check,
+the same discipline as the tracer hooks).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import math
+import os
+import re
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "P2Quantile",
+    "MetricCounter",
+    "Gauge",
+    "MetricHistogram",
+    "MetricsRegistry",
+    "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_POWER_BUCKETS",
+    "TRACKED_QUANTILES",
+    "enable",
+    "disable",
+    "active",
+    "enabled",
+    "instrument",
+    "lint_prometheus",
+    "read_snapshot",
+    "render_registry",
+]
+
+#: Snapshot/export schema version (bump on breaking format changes).
+METRICS_SCHEMA_VERSION = 1
+
+#: The quantiles every histogram sketches (p50/p95/p99/p999).
+TRACKED_QUANTILES = (0.5, 0.95, 0.99, 0.999)
+
+
+def log_buckets(start: float, factor: float, count: int) -> List[float]:
+    """Geometrically spaced bucket bounds (strictly increasing)."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("log buckets need start > 0, factor > 1, count >= 1")
+    return [start * factor**i for i in range(count)]
+
+
+#: Latency buckets: 0.1 ms to ~56 s in ×1.6 steps (29 bounds).
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-4, 1.6, 29)
+
+#: Power buckets: 0.5 W to ~1.1 kW in ×1.5 steps (20 bounds).
+DEFAULT_POWER_BUCKETS = log_buckets(0.5, 1.5, 20)
+
+
+# ----------------------------------------------------------------------
+# P² streaming quantile estimator
+# ----------------------------------------------------------------------
+class P2Quantile:
+    """The P² single-quantile estimator (Jain & Chlamtáč, CACM 1985).
+
+    Five markers track the running estimate of quantile ``q`` with O(1)
+    memory; below five observations the exact sorted buffer answers.
+    Marker heights move by piecewise-parabolic (P²) interpolation, falling
+    back to linear when the parabola would break marker monotonicity.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_buf")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q!r}")
+        self.q = q
+        self.count = 0
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._buf: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if self.count <= 5:
+            self._buf.append(value)
+            if self.count == 5:
+                self._buf.sort()
+                self._heights = list(self._buf)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self._desired = [
+                    1.0,
+                    1.0 + 2.0 * q,
+                    1.0 + 4.0 * q,
+                    3.0 + 2.0 * q,
+                    5.0,
+                ]
+                self._buf = []
+            return
+        heights = self._heights
+        positions = self._positions
+        # Locate the cell and clamp the extremes.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            for i in range(1, 4):
+                if value < heights[i]:
+                    break
+                cell = i
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        q = self.q
+        increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+        desired = self._desired
+        for i in range(5):
+            desired[i] += increments[i]
+        # Adjust the three interior markers.
+        for i in range(1, 4):
+            delta = desired[i] - positions[i]
+            right_gap = positions[i + 1] - positions[i]
+            left_gap = positions[i - 1] - positions[i]
+            if (delta >= 1.0 and right_gap > 1.0) or (
+                delta <= -1.0 and left_gap < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current estimate of the tracked quantile."""
+        if self.count == 0:
+            return 0.0
+        if self.count <= 5:
+            ordered = sorted(self._buf)
+            rank = max(
+                0, min(len(ordered) - 1, math.ceil(self.q * len(ordered)) - 1)
+            )
+            return ordered[rank]
+        return self._heights[2]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "q": self.q,
+            "count": self.count,
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+            "buf": list(self._buf),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "P2Quantile":
+        sketch = cls(float(data["q"]))
+        sketch.count = int(data["count"])
+        sketch._heights = [float(v) for v in data["heights"]]
+        sketch._positions = [float(v) for v in data["positions"]]
+        sketch._desired = [float(v) for v in data["desired"]]
+        sketch._buf = [float(v) for v in data["buf"]]
+        return sketch
+
+
+# ----------------------------------------------------------------------
+# Metric instances
+# ----------------------------------------------------------------------
+class MetricCounter:
+    """Monotonically increasing labeled scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time labeled scalar (merge aggregation set by its family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is a new peak."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class MetricHistogram:
+    """Streaming histogram: log-spaced buckets + P² quantile sketches.
+
+    Buckets count exactly and merge associatively; the P² sketches give
+    refined within-run quantiles.  Merging two populated histograms drops
+    the sketches (P² states cannot be combined) and falls back to bucket
+    interpolation, which is merge-order independent — the property the
+    worker fan-out relies on.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max", "_sketches")
+
+    def __init__(self, bounds: Iterable[float]) -> None:
+        bounds = [float(b) for b in bounds]
+        if not bounds or any(
+            bounds[i] >= bounds[i + 1] for i in range(len(bounds) - 1)
+        ):
+            raise ValueError("bounds must be strictly increasing, non-empty")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: One sketch per tracked quantile; ``None`` once merged.
+        self._sketches: Optional[List[P2Quantile]] = [
+            P2Quantile(q) for q in TRACKED_QUANTILES
+        ]
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        bounds = self.bounds
+        lo, hi = 0, len(bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        sketches = self._sketches
+        if sketches is not None:
+            for sketch in sketches:
+                sketch.observe(value)
+
+    @property
+    def merged(self) -> bool:
+        """True once P² sketches were dropped by a populated merge."""
+        return self._sketches is None
+
+    def quantile(self, q: float) -> float:
+        """Estimate quantile ``q``: P² when available, else buckets."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        sketches = self._sketches
+        if sketches is not None:
+            for sketch in sketches:
+                if abs(sketch.q - q) < 1e-12:
+                    return sketch.value()
+        return self.bucket_quantile(q)
+
+    def bucket_quantile(self, q: float) -> float:
+        """Quantile by linear interpolation inside the covering bucket.
+
+        Exactly mergeable (depends only on bucket counts), at the cost of
+        bucket-width resolution.  The overflow bucket answers with the
+        observed maximum.
+        """
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            if not c:
+                continue
+            if cumulative + c >= target:
+                if i >= len(self.bounds):
+                    return self.max
+                lower = self.bounds[i - 1] if i else 0.0
+                upper = self.bounds[i]
+                fraction = (target - cumulative) / c
+                return lower + fraction * (upper - lower)
+            cumulative += c
+        return self.max  # pragma: no cover - rounding guard
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "MetricHistogram") -> None:
+        """Fold ``other`` in.  Associative and commutative on buckets;
+        sketches survive only while exactly one side has observations."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.counts = list(other.counts)
+            self.count = other.count
+            self.sum = other.sum
+            self.min = other.min
+            self.max = other.max
+            self._sketches = (
+                None
+                if other._sketches is None
+                else [P2Quantile.from_dict(s.to_dict()) for s in other._sketches]
+            )
+            return
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._sketches = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "sketches": (
+                None
+                if self._sketches is None
+                else [s.to_dict() for s in self._sketches]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricHistogram":
+        hist = cls(data["bounds"])
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError("histogram count vector mismatch")
+        hist.counts = counts
+        hist.count = int(data["count"])
+        hist.sum = float(data["sum"])
+        hist.min = math.inf if data["min"] is None else float(data["min"])
+        hist.max = -math.inf if data["max"] is None else float(data["max"])
+        if data["sketches"] is None:
+            hist._sketches = None
+        else:
+            hist._sketches = [
+                P2Quantile.from_dict(s) for s in data["sketches"]
+            ]
+        return hist
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_KINDS = ("counter", "gauge", "histogram")
+_GAUGE_AGGS = ("sum", "max", "min")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class _Family:
+    """One named metric family: kind, help text, labeled children."""
+
+    __slots__ = ("name", "kind", "help", "agg", "bounds", "children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        agg: str = "sum",
+        bounds: Optional[List[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.agg = agg
+        self.bounds = bounds
+        self.children: Dict[LabelKey, Any] = {}
+
+    def child(self, key: LabelKey) -> Any:
+        instance = self.children.get(key)
+        if instance is None:
+            if self.kind == "counter":
+                instance = MetricCounter()
+            elif self.kind == "gauge":
+                instance = Gauge()
+            else:
+                instance = MetricHistogram(self.bounds)
+            self.children[key] = instance
+        return instance
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """A process-local store of counter/gauge/histogram families.
+
+    Family identity is the metric name; children are label sets.  The
+    registry is deliberately dependency-free and picklable via
+    :meth:`to_dict`, so pool workers meter their cells locally and ship
+    the state back for an associative :meth:`merge` in the parent.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        agg: str = "sum",
+        bounds: Optional[List[float]] = None,
+    ) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, agg=agg, bounds=bounds)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ValueError(
+                f"{name}: registered as {family.kind}, requested {kind}"
+            )
+        if kind == "gauge" and family.agg != agg:
+            raise ValueError(
+                f"{name}: gauge aggregation mismatch "
+                f"({family.agg} vs {agg})"
+            )
+        if kind == "histogram" and bounds is not None:
+            if family.bounds != list(bounds):
+                raise ValueError(f"{name}: histogram bucket mismatch")
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", **labels: Any
+    ) -> MetricCounter:
+        """The counter child of ``name`` for this label set."""
+        return self._family(name, "counter", help_text).child(
+            _label_key(labels)
+        )
+
+    def gauge(
+        self, name: str, help_text: str = "", agg: str = "sum", **labels: Any
+    ) -> Gauge:
+        """The gauge child of ``name``; ``agg`` fixes merge semantics."""
+        if agg not in _GAUGE_AGGS:
+            raise ValueError(f"gauge agg must be one of {_GAUGE_AGGS}")
+        return self._family(name, "gauge", help_text, agg=agg).child(
+            _label_key(labels)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Iterable[float]] = None,
+        **labels: Any,
+    ) -> MetricHistogram:
+        """The histogram child of ``name`` for this label set."""
+        bounds = (
+            list(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        )
+        return self._family(
+            name, "histogram", help_text, bounds=bounds
+        ).child(_label_key(labels))
+
+    # ------------------------------------------------------------------
+    def families(self) -> List[str]:
+        return sorted(self._families)
+
+    def samples(self) -> List[Tuple[str, Dict[str, str], Any]]:
+        """Flat ``(name, labels, instance)`` view in deterministic order."""
+        out = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key in sorted(family.children):
+                out.append((name, dict(key), family.children[key]))
+        return out
+
+    def get(
+        self, name: str, **labels: Any
+    ) -> Optional[Any]:
+        """Existing child or ``None`` (never creates)."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.children.get(_label_key(labels))
+
+    def __len__(self) -> int:
+        return sum(len(f.children) for f in self._families.values())
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (associative, commutative).
+
+        Counters add, gauges combine by their family's declared
+        aggregation, histograms merge buckets exactly (sketches drop once
+        both sides are populated).  Returns ``self`` for chaining.
+        """
+        for name, theirs in other._families.items():
+            family = self._family(
+                name,
+                theirs.kind,
+                theirs.help,
+                agg=theirs.agg,
+                bounds=theirs.bounds,
+            )
+            if family.kind == "histogram" and family.bounds != theirs.bounds:
+                raise ValueError(f"{name}: histogram bucket mismatch")
+            for key, their_child in theirs.children.items():
+                mine = family.children.get(key)
+                if mine is None:
+                    # Copy through the exact dict round-trip so later
+                    # mutation of either registry stays independent.
+                    if family.kind == "histogram":
+                        family.children[key] = MetricHistogram.from_dict(
+                            their_child.to_dict()
+                        )
+                    else:
+                        child = family.child(key)
+                        child.value = their_child.value
+                elif family.kind == "counter":
+                    mine.value += their_child.value
+                elif family.kind == "gauge":
+                    if family.agg == "sum":
+                        mine.value += their_child.value
+                    elif family.agg == "max":
+                        mine.value = max(mine.value, their_child.value)
+                    else:
+                        mine.value = min(mine.value, their_child.value)
+                else:
+                    mine.merge(their_child)
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        families: Dict[str, Any] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            children = []
+            for key in sorted(family.children):
+                child = family.children[key]
+                entry: Dict[str, Any] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    entry["histogram"] = child.to_dict()
+                else:
+                    entry["value"] = child.value
+                children.append(entry)
+            families[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "agg": family.agg,
+                "children": children,
+            }
+        return {"schema": METRICS_SCHEMA_VERSION, "families": families}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        for name, spec in data.get("families", {}).items():
+            kind = spec["kind"]
+            if kind not in _KINDS:
+                raise ValueError(f"{name}: unknown metric kind {kind!r}")
+            for entry in spec["children"]:
+                labels = {
+                    str(k): str(v) for k, v in entry["labels"].items()
+                }
+                if kind == "histogram":
+                    hist = MetricHistogram.from_dict(entry["histogram"])
+                    family = registry._family(
+                        name, kind, spec.get("help", ""), bounds=hist.bounds
+                    )
+                    family.children[_label_key(labels)] = hist
+                elif kind == "counter":
+                    registry.counter(
+                        name, spec.get("help", ""), **labels
+                    ).value = float(entry["value"])
+                else:
+                    registry.gauge(
+                        name,
+                        spec.get("help", ""),
+                        agg=spec.get("agg", "sum"),
+                        **labels,
+                    ).value = float(entry["value"])
+            # Families with no children still round-trip (kind + help).
+            if not spec["children"]:
+                registry._family(
+                    name, kind, spec.get("help", ""),
+                    agg=spec.get("agg", "sum"),
+                    bounds=None if kind != "histogram" else DEFAULT_LATENCY_BUCKETS,
+                )
+        return registry
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.children):
+                child = family.children[key]
+                if family.kind == "histogram":
+                    cumulative = 0
+                    for i, bound in enumerate(child.bounds):
+                        cumulative += child.counts[i]
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_prom_labels(key, le=_prom_float(bound))} "
+                            f"{cumulative}"
+                        )
+                    cumulative += child.counts[-1]
+                    lines.append(
+                        f'{name}_bucket{_prom_labels(key, le="+Inf")} '
+                        f"{cumulative}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_prom_labels(key)} "
+                        f"{_prom_float(child.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_prom_labels(key)} {child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_prom_labels(key)} "
+                        f"{_prom_float(child.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def write_prometheus(self, path: str) -> str:
+        _ensure_parent(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_prometheus())
+        return path
+
+    def write_jsonl(self, path: str) -> int:
+        """JSONL snapshot: a meta line, then one line per family.
+
+        Returns the number of family lines written.  The snapshot
+        round-trips exactly through :func:`read_snapshot` (``rolo top``
+        renders these files).
+        """
+        _ensure_parent(path)
+        data = self.to_dict()
+        count = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {"record": "meta", "schema": data["schema"]},
+                    sort_keys=True,
+                )
+            )
+            fh.write("\n")
+            for name in sorted(data["families"]):
+                record = {"record": "family", "name": name}
+                record.update(data["families"][name])
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+                count += 1
+        return count
+
+
+def read_snapshot(path: str) -> MetricsRegistry:
+    """Load a registry back from a :meth:`MetricsRegistry.write_jsonl`
+    snapshot."""
+    families: Dict[str, Any] = {}
+    schema = METRICS_SCHEMA_VERSION
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            record_type = record.get("record")
+            if record_type == "meta":
+                schema = int(record.get("schema", schema))
+            elif record_type == "family":
+                if "name" not in record or "kind" not in record:
+                    raise ValueError(
+                        f"{path}: family line missing name/kind"
+                    )
+                families[record["name"]] = {
+                    "kind": record["kind"],
+                    "help": record.get("help", ""),
+                    "agg": record.get("agg", "sum"),
+                    "children": record.get("children", []),
+                }
+            else:
+                raise ValueError(
+                    f"{path}: unknown snapshot line {record_type!r}"
+                )
+    return MetricsRegistry.from_dict(
+        {"schema": schema, "families": families}
+    )
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def _prom_float(value: float) -> str:
+    if value != value:  # pragma: no cover - NaN guard
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:  # pragma: no cover - not produced today
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_labels(key: LabelKey, **extra: str) -> str:
+    pairs = list(key) + sorted(extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{k}="{_prom_escape(v)}"' for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text lint (tests + CI metrics-smoke)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+]+|\+Inf|-Inf|NaN)$"
+)
+_LABEL_PAIR_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Validate Prometheus text format; returns a list of problems.
+
+    Checks line syntax, TYPE declarations, label pair syntax, histogram
+    ``le`` monotonicity and the ``+Inf``/``_count`` agreement.  An empty
+    return value means the document is clean.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    buckets: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, str], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in _KINDS:
+                problems.append(f"line {lineno}: malformed TYPE line")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name, label_blob, value_text = match.groups()
+        labels: Dict[str, str] = {}
+        if label_blob:
+            for pair in _split_label_pairs(label_blob[1:-1]):
+                if not _LABEL_PAIR_RE.match(pair):
+                    problems.append(
+                        f"line {lineno}: malformed label pair {pair!r}"
+                    )
+                    continue
+                key, _, raw = pair.partition("=")
+                labels[key] = raw[1:-1]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            problems.append(f"line {lineno}: {name} has no TYPE declaration")
+            continue
+        value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        if name.endswith("_bucket") and types.get(base) == "histogram":
+            le = labels.get("le")
+            if le is None:
+                problems.append(f"line {lineno}: bucket sample without le")
+                continue
+            le_value = math.inf if le == "+Inf" else float(le)
+            other = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            buckets.setdefault((base, repr(other)), []).append(
+                (le_value, value)
+            )
+        elif name.endswith("_count") and types.get(base) == "histogram":
+            counts[
+                (base, repr(tuple(sorted(labels.items()))))
+            ] = value
+    for (base, labelrepr), series in buckets.items():
+        ordered = sorted(series)
+        values = [v for _, v in ordered]
+        if any(b > a for b, a in zip(values, values[1:])):
+            problems.append(f"{base}{labelrepr}: bucket counts not cumulative")
+        if ordered and ordered[-1][0] != math.inf:
+            problems.append(f"{base}{labelrepr}: missing +Inf bucket")
+        total = counts.get((base, labelrepr))
+        if total is not None and ordered and ordered[-1][1] != total:
+            problems.append(
+                f"{base}{labelrepr}: +Inf bucket != _count sample"
+            )
+    return problems
+
+
+def _split_label_pairs(blob: str) -> List[str]:
+    pairs: List[str] = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for ch in blob:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            current.append(ch)
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        pairs.append("".join(current))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Process-wide-optional ambient registry
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install (and return) the ambient process-wide registry."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Clear the ambient registry; metering-off paths cost nothing again."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The ambient registry, or ``None`` when metrics are off."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def enabled(registry: Optional[MetricsRegistry] = None):
+    """Scoped :func:`enable`; restores the previous registry on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Run instrumentation
+# ----------------------------------------------------------------------
+#: Event-hook sampling stride for the heap census / power histogram /
+#: destage-depth gauges (every Nth dispatched event).
+_SAMPLE_EVERY = 256
+
+
+class RunInstrumentation:
+    """Meters one simulation run into a :class:`MetricsRegistry`.
+
+    Installs observation-only hooks (the engine event hook, per-disk op
+    observers, the ``RunMetrics`` response observer) and harvests
+    end-of-run state (power residency, spin counts, controller counters).
+    Every hook reads and never writes simulator/controller state, so a
+    metered run's :class:`RunMetrics` stays byte-identical to an
+    unmetered one.
+    """
+
+    def __init__(self, sim, controller, registry: MetricsRegistry) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.registry = registry
+        self.scheme = controller.scheme_name
+        self._events_by_label: Dict[str, int] = {}
+        self._heap_peak = 0
+        self._power_peak = 0.0
+        self._dirty_peak = 0
+        self._occupancy_peak = 0.0
+        self._tick = 0
+        self._power_hist = registry.histogram(
+            "array_power_watts",
+            "instantaneous array power draw, sampled on event dispatch",
+            buckets=DEFAULT_POWER_BUCKETS,
+            scheme=self.scheme,
+        )
+        self._started = time.perf_counter()
+        self._installed = False
+
+    # -- hooks ----------------------------------------------------------
+    def install(self) -> None:
+        self.sim.set_event_hook(self._on_event)
+        scheme = self.scheme
+        registry = self.registry
+        latency = {
+            False: registry.histogram(
+                "request_latency_seconds",
+                "end-to-end logical request latency",
+                op="read",
+                scheme=scheme,
+            ),
+            True: registry.histogram(
+                "request_latency_seconds",
+                "end-to-end logical request latency",
+                op="write",
+                scheme=scheme,
+            ),
+        }
+
+        def _on_response(is_write: bool, seconds: float) -> None:
+            latency[is_write].observe(seconds)
+
+        self.controller.metrics.on_response = _on_response
+        service = {
+            0: registry.histogram(
+                "disk_service_time_seconds",
+                "in-service time of one disk operation",
+                priority="foreground",
+                scheme=scheme,
+            ),
+            1: registry.histogram(
+                "disk_service_time_seconds",
+                "in-service time of one disk operation",
+                priority="background",
+                scheme=scheme,
+            ),
+        }
+        ops = {
+            0: registry.counter(
+                "disk_ops_total",
+                "completed disk operations",
+                priority="foreground",
+                scheme=scheme,
+            ),
+            1: registry.counter(
+                "disk_ops_total",
+                "completed disk operations",
+                priority="background",
+                scheme=scheme,
+            ),
+        }
+
+        def _on_op(disk, op) -> None:
+            index = int(op.priority)
+            service[index].observe(op.finish_time - op.start_time)
+            ops[index].inc()
+
+        for disk in self.controller.all_disks():
+            disk.op_observer = _on_op
+        self._op_observer = _on_op
+        self._installed = True
+
+    def _on_event(self, event) -> None:
+        label = event.label
+        _, _, suffix = label.rpartition(":")
+        counts = self._events_by_label
+        counts[suffix or label] = counts.get(suffix or label, 0) + 1
+        tick = self._tick + 1
+        self._tick = tick
+        if tick % _SAMPLE_EVERY == 0:
+            self._sample()
+
+    def _sample(self) -> None:
+        sim = self.sim
+        if sim.heap_size > self._heap_peak:
+            self._heap_peak = sim.heap_size
+        controller = self.controller
+        watts = 0.0
+        for disk in controller.all_disks():
+            watts += disk.power._draw[disk.power._state]
+        self._power_hist.observe(watts)
+        if watts > self._power_peak:
+            self._power_peak = watts
+        dirty = controller.dirty_units_total()
+        if dirty > self._dirty_peak:
+            self._dirty_peak = dirty
+        for region in controller.log_regions():
+            occupancy = region.occupancy
+            if occupancy > self._occupancy_peak:
+                self._occupancy_peak = occupancy
+
+    # -- teardown -------------------------------------------------------
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self.sim.set_event_hook(None)
+        self.controller.metrics.on_response = None
+        for disk in self.controller.all_disks():
+            if disk.op_observer is self._op_observer:
+                disk.op_observer = None
+        self._installed = False
+
+    def harvest(self) -> None:
+        """Fold end-of-run state into the registry (idempotent-by-design
+        only if called once; call exactly once, after the run)."""
+        registry = self.registry
+        scheme = self.scheme
+        sim = self.sim
+        wall = time.perf_counter() - self._started
+        # Engine: dispatch census + heap hygiene.
+        registry.counter(
+            "sim_events_total", "events dispatched by the engine",
+            scheme=scheme,
+        ).inc(sim.events_processed)
+        for label in sorted(self._events_by_label):
+            registry.counter(
+                "sim_events_by_label_total",
+                "events dispatched, by label suffix",
+                label=label,
+                scheme=scheme,
+            ).inc(self._events_by_label[label])
+        registry.counter(
+            "sim_heap_compactions_total",
+            "in-place heap compactions",
+            scheme=scheme,
+        ).inc(sim.compactions)
+        registry.gauge(
+            "sim_heap_peak", "peak event-heap size (sampled)",
+            agg="max", scheme=scheme,
+        ).set_max(float(self._heap_peak))
+        registry.gauge(
+            "sim_wall_seconds", "wall-clock time of metered runs",
+            agg="sum", scheme=scheme,
+        ).inc(wall)
+        # Disks: per-state residency, energy, spin counts.
+        from repro.disk.power import PowerState
+
+        for role, disks in self.controller.disks_by_role().items():
+            spin_ups = registry.counter(
+                "disk_spin_ups_total", "spin-up transitions",
+                role=role, scheme=scheme,
+            )
+            spin_downs = registry.counter(
+                "disk_spin_downs_total", "spin-down transitions",
+                role=role, scheme=scheme,
+            )
+            energy = registry.counter(
+                "disk_energy_joules_total", "energy consumed",
+                role=role, scheme=scheme,
+            )
+            for disk in disks:
+                accountant = disk.power
+                spin_ups.inc(accountant.spin_up_count)
+                spin_downs.inc(accountant.spin_down_count)
+                energy.inc(accountant.energy_at(sim.now))
+                for state in PowerState:
+                    duration = accountant.state_durations[state]
+                    if state is accountant.state:
+                        duration += sim.now - accountant._last_time
+                    if duration:
+                        registry.counter(
+                            "disk_state_seconds_total",
+                            "power-state residency",
+                            role=role,
+                            scheme=scheme,
+                            state=state.value,
+                        ).inc(duration)
+        # Controller counters (the Table I / Fig. 2 raw material).
+        metrics = self.controller.metrics
+        for name, value, help_text in (
+            ("controller_requests_total", metrics.requests, "logical requests"),
+            ("controller_rotations_total", metrics.rotations,
+             "logger rotation hand-offs"),
+            ("controller_destage_cycles_total", metrics.destage_cycles,
+             "destage processes completed"),
+            ("controller_logged_bytes_total", metrics.logged_bytes,
+             "bytes written to log space"),
+            ("controller_destaged_bytes_total", metrics.destaged_bytes,
+             "bytes destaged to home locations"),
+            ("controller_read_hits_total", metrics.read_hits,
+             "reads served from log space"),
+            ("controller_read_misses_total", metrics.read_misses,
+             "reads that missed log space"),
+            ("controller_deactivations_total", metrics.deactivations,
+             "disk deactivation decisions"),
+            ("controller_degraded_reads_total",
+             getattr(self.controller, "degraded_reads", 0),
+             "reads served while the pair was degraded"),
+        ):
+            if value:
+                registry.counter(name, help_text, scheme=scheme).inc(value)
+        registry.gauge(
+            "array_power_peak_watts", "peak sampled array draw",
+            agg="max", scheme=scheme,
+        ).set_max(self._power_peak)
+        registry.gauge(
+            "destage_dirty_units_peak", "peak dirty stripe units (sampled)",
+            agg="max", scheme=scheme,
+        ).set_max(float(self._dirty_peak))
+        registry.gauge(
+            "log_occupancy_peak", "peak log-region occupancy (sampled)",
+            agg="max", scheme=scheme,
+        ).set_max(self._occupancy_peak)
+
+
+@contextlib.contextmanager
+def instrument(sim, controller, registry: Optional[MetricsRegistry] = None):
+    """Meter one run: install hooks on entry, harvest + remove on exit.
+
+    Usage::
+
+        registry = MetricsRegistry()
+        with instrument(sim, controller, registry):
+            metrics = run_trace(controller, trace)
+    """
+    if registry is None:
+        registry = active()
+    if registry is None:
+        yield None
+        return
+    run = RunInstrumentation(sim, controller, registry)
+    run.install()
+    try:
+        yield run
+    finally:
+        run.uninstall()
+        run.harvest()
+
+
+# ----------------------------------------------------------------------
+# Rendering (``rolo top`` and the sweep utilization table)
+# ----------------------------------------------------------------------
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    if abs(value) >= 1e5 or (value and abs(value) < 1e-3):
+        return f"{value:.3g}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """Human-readable snapshot: counters/gauges, then histogram quantiles.
+
+    This is the ``rolo top`` view — a compact utilization table with the
+    tail percentiles the paper's evaluation (and ours) turns on.
+    """
+    counters: List[str] = []
+    gauges: List[str] = []
+    hist_rows: List[Tuple[str, ...]] = []
+    for name, labels, child in registry.samples():
+        title = f"{name}{_fmt_labels(labels)}"
+        if isinstance(child, MetricCounter):
+            counters.append(f"  {title}  {_fmt_value(child.value)}")
+        elif isinstance(child, Gauge):
+            gauges.append(f"  {title}  {_fmt_value(child.value)}")
+        else:
+            hist_rows.append(
+                (
+                    title,
+                    str(child.count),
+                    _fmt_value(child.mean),
+                    *(
+                        _fmt_value(child.quantile(q))
+                        for q in TRACKED_QUANTILES
+                    ),
+                    _fmt_value(child.max if child.count else 0.0),
+                    "buckets" if child.merged else "p2",
+                )
+            )
+    lines: List[str] = []
+    if counters:
+        lines.append("counters:")
+        lines.extend(counters)
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(gauges)
+    if hist_rows:
+        header = (
+            "histogram", "count", "mean", "p50", "p95", "p99", "p999",
+            "max", "est",
+        )
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in hist_rows))
+            for i in range(len(header))
+        ]
+        lines.append("histograms:")
+        lines.append(
+            "  " + "  ".join(h.ljust(w) for h, w in zip(header, widths))
+        )
+        for row in hist_rows:
+            lines.append(
+                "  " + "  ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+    if not lines:
+        return "metrics: empty registry"
+    return "\n".join(lines)
+
+
+def format_sweep_table(registry: MetricsRegistry) -> str:
+    """Per-worker utilization table for the end-of-sweep summary."""
+    family = registry._families.get("sweep_worker_cells_total")
+    if family is None or not family.children:
+        return "sweep: no dispatcher telemetry collected"
+    busy = registry._families.get("sweep_worker_busy_seconds_total")
+    rows = []
+    for key in sorted(family.children):
+        labels = dict(key)
+        worker = labels.get("worker", "?")
+        cells = family.children[key].value
+        busy_s = 0.0
+        if busy is not None:
+            child = busy.children.get(key)
+            if child is not None:
+                busy_s = child.value
+        rate = cells / busy_s if busy_s > 0 else 0.0
+        rows.append(
+            (worker, str(int(cells)), f"{busy_s:.2f}", f"{rate:.2f}")
+        )
+    header = ("worker", "cells", "busy s", "cells/s")
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    extras = []
+    for name, label in (
+        ("shm_attach_hits_total", "attach hits"),
+        ("shm_attach_misses_total", "attach misses"),
+    ):
+        fam = registry._families.get(name)
+        if fam:
+            total = sum(c.value for c in fam.children.values())
+            extras.append(f"{label}={int(total)}")
+    window = registry.get("sweep_inflight_window_peak")
+    if window is not None:
+        extras.append(f"window peak={int(window.value)}")
+    if extras:
+        lines.append("  ".join(extras))
+    return "\n".join(lines)

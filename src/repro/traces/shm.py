@@ -223,6 +223,15 @@ class SharedTraceStore:
 #: cost; pool workers are short-lived, so entries die with the process.
 _ATTACHED: Dict[str, SharedCompiledTrace] = {}
 
+#: Memo hit/miss counts for this process — dispatcher telemetry reads the
+#: deltas around each cell to report shm attach locality.
+_ATTACH_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def attach_stats() -> Dict[str, int]:
+    """A copy of this process's attach-memo hit/miss counters."""
+    return dict(_ATTACH_STATS)
+
 
 def attach(ref: TraceRef) -> SharedCompiledTrace:
     """Map ``ref``'s segment and wrap it as a zero-copy compiled trace."""
@@ -245,8 +254,11 @@ def attach_cached(ref: TraceRef) -> SharedCompiledTrace:
     """Attach with the per-process memo (the pool workers' entry point)."""
     trace = _ATTACHED.get(ref.trace_hash)
     if trace is None:
+        _ATTACH_STATS["misses"] += 1
         trace = attach(ref)
         _ATTACHED[ref.trace_hash] = trace
+    else:
+        _ATTACH_STATS["hits"] += 1
     return trace
 
 

@@ -77,7 +77,7 @@ def test_compare_one_sided_scenarios_never_gate():
         {"new": _result(10.0)}, {"old": _result(10.0)}, tolerance=0.25
     )
     assert comparison["passed"]
-    assert comparison["scenarios"]["new"]["status"] == "only-current"
+    assert comparison["scenarios"]["new"]["status"] == "new"
     assert comparison["scenarios"]["old"]["status"] == "only-baseline"
 
 

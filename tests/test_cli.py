@@ -297,3 +297,124 @@ class TestObservabilityCommands:
         out = capsys.readouterr().out
         assert "[profile] per-cell timing" in out
         assert "total:" in out
+
+
+class TestMetricsCommands:
+    def test_metrics_flag_parsing(self):
+        args = build_parser().parse_args(
+            ["simulate", "rolo-p", "wdev_0", "--metrics", "m.prom"]
+        )
+        assert args.metrics == "m.prom"
+        assert args.metrics_format == "auto"
+        args = build_parser().parse_args(
+            ["run", "fig10", "--progress", "--metrics-out", "m.jsonl"]
+        )
+        assert args.progress is True
+        assert args.metrics_out == "m.jsonl"
+        args = build_parser().parse_args(
+            ["bench", "trend", "a.json", "b.json", "--threshold", "0.2"]
+        )
+        assert args.bench_command == "trend"
+        assert args.files == ["a.json", "b.json"]
+        assert args.threshold == 0.2
+        args = build_parser().parse_args(["top", "m.jsonl"])
+        assert args.file == "m.jsonl"
+
+    SIM = ["simulate", "rolo-p", "wdev_0", "--scale", "0.02", "--pairs", "2"]
+
+    def test_simulate_metrics_prometheus(self, capsys, tmp_path):
+        out_path = tmp_path / "run.prom"
+        assert main(self.SIM + ["--metrics", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "requests=" in out
+        assert "p95=" in out and "p99=" in out
+        text = out_path.read_text(encoding="utf-8")
+        assert "# TYPE" in text
+        from repro.obs.metrics import lint_prometheus
+
+        assert lint_prometheus(text) == []
+
+    def test_simulate_metrics_jsonl_then_top(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        assert main(self.SIM + ["--metrics", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["top", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim_events_total" in out
+        assert "request_latency_seconds" in out
+
+    def test_simulate_metrics_rejects_observer_combos(self, capsys, tmp_path):
+        rc = main(
+            self.SIM
+            + ["--metrics", str(tmp_path / "m.prom"), "--profile"]
+        )
+        assert rc == 2
+
+    def test_top_missing_file(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_bench_trend_flags_regression(self, capsys, tmp_path):
+        import json as _json
+
+        from repro import bench as _bench
+
+        def _snap(name, rate):
+            path = tmp_path / name
+            path.write_text(
+                _json.dumps(
+                    _bench.build_report(
+                        {"matrix:x": {"events_per_sec": rate, "wall_s": 1.0}},
+                        mode="quick",
+                    )
+                )
+            )
+            return str(path)
+
+        old = _snap("BENCH_1.json", 100.0)
+        new = _snap("BENCH_2.json", 80.0)
+        html = tmp_path / "trend.html"
+        assert (
+            main(["bench", "trend", old, new, "--html", str(html)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "matrix:x" in out
+        assert "flagged" in out
+        assert html.exists()
+
+    def test_bench_trend_requires_two_files(self, capsys, tmp_path):
+        assert main(["bench", "trend", str(tmp_path / "one.json")]) == 2
+
+    def test_bench_rejects_stray_files_without_trend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "a.json"])
+
+    def test_cache_info_reports_shm_segments(self, capsys, tmp_path):
+        assert (
+            main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        )
+        assert "shm segments" in capsys.readouterr().out
+
+    def test_report_command_markdown(self, capsys, tmp_path):
+        out_path = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report",
+                    "--schemes",
+                    "raid10,rolo-p",
+                    "--workloads",
+                    "wdev_0",
+                    "--scale",
+                    "0.01",
+                    "--pairs",
+                    "2",
+                    "--no-cache",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        text = out_path.read_text(encoding="utf-8")
+        assert "p95 ms" in text
+        assert "Power-state residency" in text
