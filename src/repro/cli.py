@@ -21,6 +21,8 @@ Subcommands::
     rolo run fig10 --progress         # live progress/ETA + worker table
     rolo top metrics.jsonl            # render a metrics snapshot
     rolo report --out report.html     # latency/power run report
+    rolo verify run --scenarios 50    # differential fuzz sweep + shrinking
+    rolo verify repro repro-X.json    # replay a shrunk failure artifact
 
 ``rolo run`` fans uncached simulation cells out over a process pool
 (``--jobs N``, default: all cores; ``--jobs 1`` is the exact serial path)
@@ -607,6 +609,98 @@ def _faults_campaign(args: argparse.Namespace) -> int:
     return 0 if summary["inconsistent_cells"] == 0 else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    previous_cache = result_cache.active_cache()
+    result_cache.configure(
+        directory=args.cache_dir, enabled=not args.no_cache
+    )
+    try:
+        if args.verify_command == "repro":
+            return _verify_repro(args)
+        return _verify_run(args)
+    finally:
+        result_cache.configure(
+            directory=previous_cache.directory if previous_cache else None,
+            enabled=previous_cache is not None,
+        )
+
+
+def _verify_run(args: argparse.Namespace) -> int:
+    from repro.verify import (
+        generate_scenarios,
+        run_fuzz,
+        run_scenario,
+        shrink,
+        write_artifact,
+    )
+
+    jobs = args.jobs if args.jobs is not None else 1
+    scenarios = generate_scenarios(args.scenarios, args.seed)
+    results = run_fuzz(
+        args.scenarios,
+        seed=args.seed,
+        jobs=jobs,
+        progress=lambda line: print(line, file=sys.stderr),
+        scenarios=scenarios,
+    )
+    failures = [r for r in results if not r.ok]
+    checked = sum(r.reads_checked for r in results)
+    sweeps = sum(r.invariant_sweeps for r in results)
+    print(
+        f"[verify] scenarios={len(results)} failures={len(failures)} "
+        f"reads_checked={checked} invariant_sweeps={sweeps} "
+        f"seed={args.seed} jobs={jobs}"
+    )
+    if not failures:
+        return 0
+    # Minimize each distinct failing scenario and emit a reproducer.
+    seen = set()
+    for result in failures:
+        scenario = result.scenario
+        if scenario.key() in seen:
+            continue
+        seen.add(scenario.key())
+        print(f"FAIL {scenario.label()}", file=sys.stderr)
+        for violation in result.violations[:5]:
+            print(
+                f"  [{violation['time']:9.3f}s] {violation['check']}: "
+                f"{violation['detail']}",
+                file=sys.stderr,
+            )
+        if not result.consistent:
+            print(f"  oracle: {result.lost_blocks} blocks lost", file=sys.stderr)
+        print("  shrinking...", file=sys.stderr)
+        minimal = shrink(scenario)
+        final = run_scenario(minimal)
+        path = write_artifact(args.artifacts, minimal, final)
+        print(f"  minimal: {minimal.label()}", file=sys.stderr)
+        print(f"  reproduce with: rolo verify repro {path}")
+    return 1
+
+
+def _verify_repro(args: argparse.Namespace) -> int:
+    from repro.verify import load_scenario, run_scenario
+
+    scenario = load_scenario(args.file)
+    print(f"[verify] replaying {scenario.label()}")
+    result = run_scenario(scenario)
+    for violation in result.violations:
+        print(
+            f"  [{violation['time']:9.3f}s] {violation['check']}: "
+            f"{violation['detail']}"
+        )
+    if not result.consistent:
+        print(f"  oracle: {result.lost_blocks} blocks lost")
+    if result.ok:
+        print(
+            f"  PASS  reads_checked={result.reads_checked} "
+            f"invariant_sweeps={result.invariant_sweeps}"
+        )
+        return 0
+    print(f"  FAIL  {len(result.violations)} violations reproduced")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rolo",
@@ -912,6 +1006,41 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--no-cache", action="store_true")
     camp_p.add_argument("--cache-dir", default=None)
     camp_p.set_defaults(fn=_cmd_faults)
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="differential verification: reference model + invariants + fuzzer",
+    )
+    verify_sub = verify_p.add_subparsers(
+        dest="verify_command", required=True
+    )
+
+    vrun_p = verify_sub.add_parser(
+        "run", help="seeded random scenario sweep with shrinking"
+    )
+    vrun_p.add_argument(
+        "--scenarios", type=int, default=50, help="scenarios to generate"
+    )
+    vrun_p.add_argument("--seed", type=int, default=8)
+    vrun_p.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default 1)"
+    )
+    vrun_p.add_argument(
+        "--artifacts",
+        default=".rolo-verify",
+        help="directory for shrunk JSON reproducers",
+    )
+    vrun_p.add_argument("--no-cache", action="store_true")
+    vrun_p.add_argument("--cache-dir", default=None)
+    vrun_p.set_defaults(fn=_cmd_verify)
+
+    vrepro_p = verify_sub.add_parser(
+        "repro", help="replay a shrunk reproducer artifact"
+    )
+    vrepro_p.add_argument("file", help="artifact (or bare scenario) JSON")
+    vrepro_p.add_argument("--no-cache", action="store_true")
+    vrepro_p.add_argument("--cache-dir", default=None)
+    vrepro_p.set_defaults(fn=_cmd_verify)
     return parser
 
 

@@ -57,16 +57,25 @@ RAID5_SCHEMES = {
 
 
 def build_raid5_controller(
-    scheme: str, sim: Simulator, config: Raid5Config
+    scheme: str, sim: Simulator, config: Raid5Config, oracle: object = None
 ):
-    """Construct a parity-based controller ('raid5' or 'rolo-5')."""
+    """Construct a parity-based controller ('raid5' or 'rolo-5').
+
+    ``oracle`` is attached like in :func:`build_controller`; the parity
+    controllers report data-segment writes/reads through the oracle's
+    ``note_parity_write``/``note_parity_read`` hooks (parity units are
+    derived state and deliberately untracked).
+    """
     key = scheme.lower()
     try:
         cls = RAID5_SCHEMES[key]
     except KeyError:
         known = ", ".join(sorted(RAID5_SCHEMES))
         raise KeyError(f"unknown scheme {scheme!r}; known: {known}") from None
-    return cls(sim, config)
+    controller = cls(sim, config)
+    if oracle is not None:
+        oracle.attach(controller)
+    return controller
 
 
 def build_controller(

@@ -60,8 +60,16 @@ class Raid10Controller(Controller):
                     )
         else:
             for seg in segments:
+                source = self._read_source(seg.pair)
+                if oracle is not None:
+                    kind = (
+                        "degraded"
+                        if self._pair_degraded(seg.pair)
+                        else "balanced"
+                    )
+                    oracle.note_read(self, seg, source.name, kind)
                 self._issue(
-                    self._read_source(seg.pair),
+                    source,
                     OpKind.READ,
                     seg.disk_offset,
                     seg.nbytes,

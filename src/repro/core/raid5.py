@@ -107,6 +107,10 @@ class Raid5Controller:
         ]
         #: Parity read-modify-write pairs issued (the small-write penalty).
         self.parity_rmw_count = 0
+        #: Optional consistency oracle (set by ``oracle.attach``); parity
+        #: controllers report data segments via ``note_parity_write`` /
+        #: ``note_parity_read``.
+        self.oracle = None
 
     # ------------------------------------------------------------------
     def disks_by_role(self) -> Dict[str, List[Disk]]:
@@ -195,6 +199,8 @@ class Raid5Controller:
                 request.offset, request.nbytes, row
             ):
                 for seg in segments:
+                    if self.oracle is not None:
+                        self.oracle.note_parity_write(self, seg)
                     self._write_direct(
                         self.disks[seg.disk], seg.disk_offset, seg.nbytes,
                         request,
@@ -204,6 +210,8 @@ class Raid5Controller:
                 )
             else:
                 for seg in segments:
+                    if self.oracle is not None:
+                        self.oracle.note_parity_write(self, seg)
                     self._chain_rmw(
                         self.disks[seg.disk], seg.disk_offset, seg.nbytes,
                         request,
@@ -215,8 +223,11 @@ class Raid5Controller:
         request.seal(self.sim.now)
 
     def _issue_read(self, seg, request: IORequest) -> None:
+        disk = self.disks[seg.disk]
+        if self.oracle is not None:
+            self.oracle.note_parity_read(self, seg, disk.name)
         request.add_waits()
-        self.disks[seg.disk].submit(
+        disk.submit(
             DiskOp(
                 OpKind.READ,
                 seg.disk_offset // 512,

@@ -93,9 +93,17 @@ class RotatedLoggingController(Controller):
         if not request.is_write:
             for seg in segments:
                 primary = self.primaries[seg.pair]
+                if not primary.failed:
+                    source, read_kind = primary, "home"
+                else:
+                    source, read_kind = (
+                        self._read_source(seg.pair),
+                        "degraded",
+                    )
+                if oracle is not None:
+                    oracle.note_read(self, seg, source.name, read_kind)
                 self._issue(
-                    primary if not primary.failed
-                    else self._read_source(seg.pair),
+                    source,
                     OpKind.READ,
                     seg.disk_offset,
                     seg.nbytes,

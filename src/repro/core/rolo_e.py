@@ -196,13 +196,19 @@ class RoloEController(Controller):
 
     def _submit_read(self, request: IORequest) -> None:
         segments = self.layout.map_extent(request.offset, request.nbytes)
+        oracle = self.oracle
         if self._mode is _Mode.DESTAGING:
             # Everything is spinning; serve in place.
             for seg in segments:
                 primary = self.primaries[seg.pair]
-                self._issue(
+                source = (
                     primary if not primary.failed
-                    else self._read_source(seg.pair),
+                    else self._read_source(seg.pair)
+                )
+                if oracle is not None:
+                    oracle.note_read(self, seg, source.name, "destaging")
+                self._issue(
+                    source,
                     OpKind.READ,
                     seg.disk_offset, seg.nbytes, request=request,
                 )
@@ -225,6 +231,8 @@ class RoloEController(Controller):
                         if p_disk.queue_depth <= m_disk.queue_depth
                         else m_disk
                     )
+                if oracle is not None:
+                    oracle.note_read(self, seg, disk.name, "log-hit")
                 self._issue(
                     disk, OpKind.READ, seg.disk_offset, seg.nbytes,
                     request=request,
@@ -232,9 +240,17 @@ class RoloEController(Controller):
             else:
                 self.metrics.read_misses += 1
                 primary = self.primaries[seg.pair]
+                if not primary.failed:
+                    source, read_kind = primary, "home"
+                else:
+                    source, read_kind = (
+                        self._read_source(seg.pair),
+                        "degraded",
+                    )
+                if oracle is not None:
+                    oracle.note_read(self, seg, source.name, read_kind)
                 self._issue(
-                    primary if not primary.failed
-                    else self._read_source(seg.pair),
+                    source,
                     OpKind.READ,
                     seg.disk_offset, seg.nbytes, request=request,
                 )
@@ -280,6 +296,8 @@ class RoloEController(Controller):
             if key in self._cache or not region.fits(unit):
                 continue
             offset = region.charge_cache(unit)
+            if self.oracle is not None:
+                self.oracle.note_cache_fill(seg.pair, base, [disk.name])
             evicted = self._cache.put(key, (use_primary, offset, unit))
             if evicted is not None:
                 _, (ev_primary, ev_offset, ev_nbytes) = evicted

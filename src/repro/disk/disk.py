@@ -360,7 +360,11 @@ class Disk:
             op.on_complete(op)
         if self._queues[0] or self._queues[1]:
             self._try_start()
-        else:
+        elif self._in_service is None:
+            # The guard matters: ``on_complete`` may have submitted a new
+            # op to this very disk, whose nested ``_try_start`` already put
+            # it in service — dropping to IDLE then would bill idle watts
+            # for a servicing disk and corrupt the idle-gap accounting.
             power = self.power
             if power._state is PowerState.ACTIVE:
                 power.transition(now, PowerState.IDLE)

@@ -134,6 +134,7 @@ def _worker_init() -> None:
     import repro.core  # noqa: F401
     import repro.experiments.runner  # noqa: F401
     import repro.traces.shm  # noqa: F401
+    import repro.verify  # noqa: F401
 
 
 def _compute_cell(cell: Cell, ref: Optional[TraceRef]) -> Dict[str, Any]:

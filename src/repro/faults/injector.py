@@ -252,6 +252,11 @@ class FaultRunResult:
     events: List[Dict[str, Any]]
     rebuilds: List[Dict[str, Any]]
     checks: List[OracleCheck]
+    #: Full :meth:`ConsistencyOracle.to_dict` snapshot (clauses + checks)
+    #: when the run had an oracle; ``None`` otherwise.  The snapshot is
+    #: the canonical serialization of the checks — ``to_dict`` emits the
+    #: bare ``checks`` list only for oracle-less runs.
+    oracle: Optional[Dict[str, Any]] = None
 
     @property
     def lost_blocks_total(self) -> int:
@@ -262,24 +267,34 @@ class FaultRunResult:
         return all(check.ok for check in self.checks)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "scheme": self.scheme,
             "schedule": self.schedule,
             "metrics": self.metrics.to_dict(),
             "events": self.events,
             "rebuilds": self.rebuilds,
-            "checks": [check.to_dict() for check in self.checks],
         }
+        if self.oracle is not None:
+            data["oracle"] = self.oracle
+        else:
+            data["checks"] = [check.to_dict() for check in self.checks]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultRunResult":
+        oracle = data.get("oracle")
+        if oracle is not None:
+            checks_data = oracle["checks"]
+        else:
+            checks_data = data.get("checks", [])
         return cls(
             scheme=data["scheme"],
             schedule=data["schedule"],
             metrics=RunMetrics.from_dict(data["metrics"]),
             events=data["events"],
             rebuilds=data["rebuilds"],
-            checks=[OracleCheck.from_dict(c) for c in data["checks"]],
+            checks=[OracleCheck.from_dict(c) for c in checks_data],
+            oracle=oracle,
         )
 
 
@@ -291,6 +306,8 @@ def run_faulted(
     with_oracle: bool = True,
     tracer=None,
     registry=None,
+    oracle: Optional[ConsistencyOracle] = None,
+    checker=None,
 ) -> FaultRunResult:
     """Replay ``trace`` under ``schedule`` and report the fault outcome.
 
@@ -301,21 +318,51 @@ def run_faulted(
     With a metrics ``registry`` the run is instrumented (latency/power
     histograms, degraded-read counts); like the oracle and tracer, the
     registry observes only, so metered fault runs stay byte-identical.
+
+    A caller-supplied ``oracle`` (e.g. the verification harness's
+    :class:`~repro.verify.ReferenceModel`) replaces the internal
+    :class:`ConsistencyOracle`; ``checker`` is an invariant checker with
+    ``install(sim, controller)``/``uninstall()`` that chains onto the
+    engine event hook *inside* any metrics instrumentation so both
+    observers see every event and unwind cleanly.  RAID5-family schemes
+    are built through :func:`repro.core.build_raid5_controller` (their
+    fail-stop surface has no ``fail_disk``, so schedules for them must
+    contain only slowdown/LSE events).
     """
+    from repro.core import RAID5_SCHEMES, build_raid5_controller
+
     sim = Simulator()
-    oracle = ConsistencyOracle() if with_oracle else None
-    controller = build_controller(
-        scheme, sim, config, tracer=tracer, oracle=oracle
-    )
+    if oracle is None and with_oracle:
+        oracle = ConsistencyOracle()
+    if scheme.lower() in RAID5_SCHEMES:
+        controller = build_raid5_controller(
+            scheme, sim, config, oracle=oracle
+        )
+    else:
+        controller = build_controller(
+            scheme, sim, config, tracer=tracer, oracle=oracle
+        )
     injector = FaultInjector(sim, controller, schedule, oracle=oracle)
     injector.arm()
     if registry is not None:
         from repro.obs.metrics import instrument
 
         with instrument(sim, controller, registry):
-            metrics = run_trace(controller, trace)
+            if checker is not None:
+                checker.install(sim, controller)
+            try:
+                metrics = run_trace(controller, trace)
+            finally:
+                if checker is not None:
+                    checker.uninstall()
     else:
-        metrics = run_trace(controller, trace)
+        if checker is not None:
+            checker.install(sim, controller)
+        try:
+            metrics = run_trace(controller, trace)
+        finally:
+            if checker is not None:
+                checker.uninstall()
     injector._check("end")
     return FaultRunResult(
         scheme=scheme,
@@ -324,4 +371,5 @@ def run_faulted(
         events=injector.events,
         rebuilds=injector.rebuilds,
         checks=injector.checks,
+        oracle=oracle.to_dict() if oracle is not None else None,
     )

@@ -133,6 +133,56 @@ class ConsistencyOracle:
             self._clauses[key] = [c | extra for c in clauses]
 
     # ------------------------------------------------------------------
+    # Read-path / cache events (no-ops here; the verification reference
+    # model overrides these to check read routing — keeping them on the
+    # base class lets controllers call them unconditionally through any
+    # attached oracle)
+    # ------------------------------------------------------------------
+    def note_read(self, controller, seg, disk_name: str, kind: str) -> None:
+        """A read segment was served from ``disk_name`` (observe-only)."""
+
+    def note_cache_fill(
+        self, pair: int, base: int, disk_names: List[str]
+    ) -> None:
+        """A unit was copied into a log-region read cache (RoLo-E)."""
+
+    def note_parity_write(self, controller, seg) -> None:
+        """A data segment landed on its owner disk (RAID5/RoLo-5)."""
+
+    def note_parity_read(self, controller, seg, disk_name: str) -> None:
+        """A read was served by a RAID5/RoLo-5 owner disk."""
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Complete, JSON-safe snapshot of the oracle's tracked state.
+
+        Clause sets are emitted sorted so equal oracle states serialize to
+        equal dictionaries; :meth:`from_dict` round-trips exactly.  Used by
+        fault-campaign payloads and ``rolo verify`` shrink artifacts.
+        """
+        return {
+            "clauses": [
+                [list(key), sorted(sorted(clause) for clause in clauses)]
+                for key, clauses in sorted(self._clauses.items())
+            ],
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConsistencyOracle":
+        oracle = cls()
+        for key, clauses in data["clauses"]:
+            oracle._clauses[tuple(key)] = [
+                frozenset(clause) for clause in clauses
+            ]
+        oracle.checks = [
+            OracleCheck.from_dict(check) for check in data["checks"]
+        ]
+        return oracle
+
+    # ------------------------------------------------------------------
     # Verdicts
     # ------------------------------------------------------------------
     @property

@@ -961,6 +961,12 @@ def enabled(registry: Optional[MetricsRegistry] = None):
 #: destage-depth gauges (every Nth dispatched event).
 _SAMPLE_EVERY = 256
 
+#: Canonical counter names emitted by the verification harness
+#: (:mod:`repro.verify`): invariant sweeps run and violations found.
+#: Declared here so dashboards and exposition tests share one spelling.
+VERIFY_CHECKS_TOTAL = "verify_checks_total"
+VERIFY_VIOLATIONS_TOTAL = "verify_violations_total"
+
 
 class RunInstrumentation:
     """Meters one simulation run into a :class:`MetricsRegistry`.

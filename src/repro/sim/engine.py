@@ -131,6 +131,16 @@ class Simulator:
         self._event_hook = hook
 
     @property
+    def event_hook(self) -> Optional[Callable[["Event"], None]]:
+        """The currently installed per-event observer (``None`` if unset).
+
+        Exposed so that layered observers (metrics instrumentation, the
+        verification invariant checker) can chain onto an existing hook
+        and restore it afterwards instead of silently clobbering it.
+        """
+        return self._event_hook
+
+    @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now

@@ -181,6 +181,31 @@ def compiled_from_events(
     )
 
 
+def truncate_trace(trace, n_requests: Optional[int]) -> CompiledTrace:
+    """First ``n_requests`` of a compiled trace as a fresh trace.
+
+    Accepts anything exposing the compiled column surface (including the
+    shared-memory :class:`~repro.traces.shm.SharedCompiledTrace` drop-in);
+    the columns are copied, so the result owns its storage and is safe to
+    keep past a shared segment's lifetime.  ``n_requests`` of ``None`` (or
+    one at least the trace length) returns ``trace`` unchanged.  The
+    footprint is left derived: the truncated trace's highest touched
+    address, not the parent's.
+    """
+    if n_requests is None or n_requests >= len(trace.arrivals):
+        return trace
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    n = n_requests
+    return CompiledTrace(
+        array("d", trace.arrivals[:n]),
+        array("q", trace.offsets[:n]),
+        array("q", trace.sizes[:n]),
+        array("B", trace.kinds[:n]),
+        name=f"{trace.name}[:{n}]",
+    )
+
+
 def compile_trace(trace: AnyTrace) -> CompiledTrace:
     """Lower a legacy :class:`Trace` into columns (idempotent)."""
     if isinstance(trace, CompiledTrace):

@@ -1,0 +1,311 @@
+"""Lockstep reference model for differential verification.
+
+:class:`ReferenceModel` is an obviously-correct shadow block store: a
+dictionary from stripe unit to the set of disks holding the unit's latest
+acknowledged contents, maintained straight from the oracle note stream the
+controllers already emit (writes, destages, rebuilds, cache fills) plus
+the read-path notes added for verification.  It subclasses
+:class:`repro.faults.ConsistencyOracle`, so the CNF reconstructability
+sweeps keep running unchanged; on top of them it checks the mirrored-array
+consistency properties Thomasian's RAID tutorial enumerates:
+
+* **read-your-writes** — every completed read is served by a disk that
+  holds the unit's latest acknowledged contents (home reads, balanced
+  RAID10 reads, RoLo-E log hits);
+* **mirror agreement at quiesce** — once the controller reports zero
+  dirty units after a drain, both home copies of every healthy pair
+  appear in every CNF clause of every tracked unit (destage completed
+  everywhere, per §III-D's decentralized destaging contract);
+* **redundancy restored after rebuild** — subsumed by the inherited
+  oracle sweeps (``post-rebuild`` checks) plus the quiesce check, which
+  the rebuilt replacement must satisfy by name;
+* **trace coverage** — the set of tracked units equals the set of units
+  the driving trace wrote, so no acknowledged write escaped the oracle
+  note stream (a lockstep check against the trace itself).
+
+Degraded and destage-window reads are checked leniently (pair-local
+routing only): a symbolic simulation serves them from the pair's
+reconstructed state, so demanding a strict holder there would flag the
+paper's intended §III-D recovery behavior, not a bug.  RoLo-E's popular
+-block cache is tracked as a monotone over-approximation (evictions and
+rotations do not clear it) — this can only weaken the read check, never
+produce a false alarm.
+
+Like the oracle it extends, the model only observes: runs with a
+reference model attached are byte-identical to plain runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.faults.oracle import ConsistencyOracle
+
+#: Read kinds checked strictly against the holder map.
+_STRICT_KINDS = ("home", "balanced")
+#: Read kinds checked for pair-local routing only.
+_LENIENT_KINDS = ("degraded", "destaging")
+
+
+class ReferenceModel(ConsistencyOracle):
+    """Dict-based shadow store checked in lockstep with a controller."""
+
+    def __init__(self, trace=None) -> None:
+        super().__init__()
+        #: Optional driving trace; enables the coverage check at ``end``.
+        self.trace = trace
+        #: (pair, base) -> names currently holding the latest contents.
+        self.holders: Dict[Tuple[int, int], FrozenSet[str]] = {}
+        #: (pair, base) -> every name that ever held any version.
+        self.ever: Dict[Tuple[int, int], FrozenSet[str]] = {}
+        #: (pair, base) -> names holding a cached copy (RoLo-E).
+        self.cache_holders: Dict[Tuple[int, int], FrozenSet[str]] = {}
+        #: (disk, base) -> owner name, for the parity (RAID5/RoLo-5) path.
+        self.parity_holders: Dict[Tuple[int, int], str] = {}
+        self.reads_checked = 0
+        self.writes_tracked = 0
+        self.violations: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def _violate(self, check: str, detail: str) -> None:
+        self.violations.append(
+            {
+                "check": check,
+                "time": self.controller.sim.now if self.controller else 0.0,
+                "detail": detail,
+            }
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    # ------------------------------------------------------------------
+    # Write-path notes (extend the oracle's bookkeeping with a holder map)
+    # ------------------------------------------------------------------
+    def note_write(
+        self, pair: int, base: int, copies: List[str], full: bool
+    ) -> None:
+        super().note_write(pair, base, copies, full)
+        names = frozenset(copies)
+        key = (pair, base)
+        if full or key not in self.holders:
+            self.holders[key] = names
+        else:
+            # Partial overwrite: the latest contents span old and new
+            # copies; only their union can serve the whole unit.
+            self.holders[key] = self.holders[key] | names
+        self.ever[key] = self.ever.get(key, frozenset()) | names
+        self.writes_tracked += 1
+
+    def note_destage(
+        self, pair: int, units: List[int], targets: List[str]
+    ) -> None:
+        super().note_destage(pair, units, targets)
+        names = frozenset(targets)
+        for base in units:
+            key = (pair, base)
+            if key in self.holders:
+                self.holders[key] = self.holders[key] | names
+                self.ever[key] = self.ever[key] | names
+
+    def note_rebuilt(
+        self, role: str, index: int, replacement_name: str
+    ) -> None:
+        super().note_rebuilt(role, index, replacement_name)
+        if role == "log":
+            return
+        extra = frozenset((replacement_name,))
+        for key in self.holders:
+            if key[0] == index:
+                self.holders[key] = self.holders[key] | extra
+                self.ever[key] = self.ever[key] | extra
+
+    def note_cache_fill(
+        self, pair: int, base: int, disk_names: List[str]
+    ) -> None:
+        key = (pair, base)
+        self.cache_holders[key] = self.cache_holders.get(
+            key, frozenset()
+        ) | frozenset(disk_names)
+
+    # ------------------------------------------------------------------
+    # Read-path checks
+    # ------------------------------------------------------------------
+    def note_read(self, controller, seg, disk_name: str, kind: str) -> None:
+        unit = controller.layout.stripe_unit
+        first = (seg.disk_offset // unit) * unit
+        last = ((seg.end_offset - 1) // unit) * unit
+        pair = seg.pair
+        for base in range(first, last + 1, unit):
+            self.reads_checked += 1
+            key = (pair, base)
+            if kind in _LENIENT_KINDS:
+                members = {
+                    controller.primaries[pair].name,
+                    controller.mirrors[pair].name,
+                }
+                if disk_name not in members:
+                    self._violate(
+                        "read-routing",
+                        f"{kind} read of pair {pair} unit {base} served by "
+                        f"{disk_name}, not a pair member {sorted(members)}",
+                    )
+                continue
+            holders = self.holders.get(key)
+            if holders is None:
+                continue  # never written during this run
+            valid = holders | self.cache_holders.get(key, frozenset())
+            if kind == "log-hit":
+                # RoLo-E hits are served from the current duty pair; dirty
+                # backlog legally survives a rotation (§III-C), so the
+                # duty disks and historical holders are all acceptable.
+                valid |= self.ever.get(key, frozenset())
+                duty = getattr(controller, "_duty_pair", None)
+                if duty is not None:
+                    valid |= {
+                        controller.primaries[duty].name,
+                        controller.mirrors[duty].name,
+                    }
+            if disk_name not in valid:
+                self._violate(
+                    "read-your-writes",
+                    f"{kind} read of pair {pair} unit {base} served by "
+                    f"{disk_name}; latest contents live on {sorted(valid)}",
+                )
+
+    # ------------------------------------------------------------------
+    # Parity (RAID5 / RoLo-5) notes: single-copy ownership per data unit
+    # ------------------------------------------------------------------
+    def _parity_units(self, controller, seg):
+        unit = controller.layout.stripe_unit
+        first = (seg.disk_offset // unit) * unit
+        last = ((seg.disk_offset + seg.nbytes - 1) // unit) * unit
+        for base in range(first, last + 1, unit):
+            yield (seg.disk, base)
+
+    def note_parity_write(self, controller, seg) -> None:
+        owner = controller.disks[seg.disk].name
+        for key in self._parity_units(controller, seg):
+            self.parity_holders[key] = owner
+            self.writes_tracked += 1
+
+    def note_parity_read(self, controller, seg, disk_name: str) -> None:
+        for key in self._parity_units(controller, seg):
+            self.reads_checked += 1
+            owner = self.parity_holders.get(key)
+            if owner is not None and disk_name != owner:
+                self._violate(
+                    "read-your-writes",
+                    f"parity-array read of disk {key[0]} unit {key[1]} "
+                    f"served by {disk_name}; owner is {owner}",
+                )
+
+    # ------------------------------------------------------------------
+    # Final lockstep checks, run on the oracle's ``end`` sweep
+    # ------------------------------------------------------------------
+    def check(self, event: str):
+        report = super().check(event)
+        if event == "end" and self.controller is not None:
+            self._final_checks()
+        return report
+
+    def _final_checks(self) -> None:
+        controller = self.controller
+        if hasattr(controller, "primaries"):
+            self._check_quiesce_mirrored(controller)
+            if self.trace is not None:
+                self._check_coverage_mirrored(controller)
+        else:
+            self._check_quiesce_parity(controller)
+            if self.trace is not None:
+                self._check_coverage_parity(controller)
+
+    def _check_quiesce_mirrored(self, controller) -> None:
+        """Mirror agreement: after a clean drain, both home copies of
+        every healthy pair must appear in every clause of every unit."""
+        if controller.dirty_units_total() != 0:
+            # Degraded scheme state (e.g. an unrebuilt failure pinned the
+            # destage backlog): agreement is not expected to hold, and the
+            # inherited reconstructability sweep still covers safety.
+            return
+        for (pair, base), clauses in sorted(self._clauses.items()):
+            if controller._pair_degraded(pair):
+                continue
+            home = {
+                controller.primaries[pair].name,
+                controller.mirrors[pair].name,
+            }
+            for clause in clauses:
+                if not home <= clause:
+                    self._violate(
+                        "mirror-agreement",
+                        f"pair {pair} unit {base} quiesced without both "
+                        f"home copies: clause {sorted(clause)} lacks "
+                        f"{sorted(home - clause)}",
+                    )
+                    break
+
+    def _check_coverage_mirrored(self, controller) -> None:
+        expected: Set[Tuple[int, int]] = set()
+        for record in self.trace:
+            if not record.is_write:
+                continue
+            for pair, base, _full in controller._unit_coverage(
+                record.offset, record.nbytes
+            ):
+                expected.add((pair, base))
+        self._compare_coverage(expected, set(self._clauses))
+
+    def _check_quiesce_parity(self, controller) -> None:
+        if controller.dirty_units_total() != 0:
+            self._violate(
+                "quiesce-dirty",
+                f"{controller.dirty_units_total()} dirty rows/units "
+                "remain after drain",
+            )
+
+    def _check_coverage_parity(self, controller) -> None:
+        layout = controller.layout
+        unit = layout.stripe_unit
+        expected: Set[Tuple[int, int]] = set()
+        for record in self.trace:
+            if not record.is_write:
+                continue
+            for row, row_off, row_len in layout.iter_row_extents(
+                record.offset, record.nbytes
+            ):
+                base_addr = row * layout.data_disks_per_row * unit
+                for seg in layout.map_extent(base_addr + row_off, row_len):
+                    first = (seg.disk_offset // unit) * unit
+                    last = (
+                        (seg.disk_offset + seg.nbytes - 1) // unit
+                    ) * unit
+                    for base in range(first, last + 1, unit):
+                        expected.add((seg.disk, base))
+        self._compare_coverage(expected, set(self.parity_holders))
+
+    def _compare_coverage(
+        self, expected: Set[Tuple[int, int]], tracked: Set[Tuple[int, int]]
+    ) -> None:
+        if expected == tracked:
+            return
+        missing = sorted(expected - tracked)[:5]
+        extra = sorted(tracked - expected)[:5]
+        self._violate(
+            "trace-coverage",
+            f"tracked units diverge from the trace's written units: "
+            f"{len(expected - tracked)} missing (first {missing}), "
+            f"{len(tracked - expected)} unexpected (first {extra})",
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["violations"] = list(self.violations)
+        data["reads_checked"] = self.reads_checked
+        data["writes_tracked"] = self.writes_tracked
+        return data
+
+
+__all__ = ["ReferenceModel"]

@@ -9,9 +9,13 @@ replay bit-identically from the seed alone).  Invariants under test:
 * ``reclaim(pair, before_epoch)`` frees exactly the already-destaged
   (earlier-epoch) extents of that pair and nothing else;
 * :class:`RotationPolicy` visits candidates in one fixed round-robin
-  permutation, regardless of occupancy history.
+  permutation, regardless of occupancy history;
+* the runtime :class:`~repro.verify.InvariantChecker` holds across every
+  scheme under clean, single-failure, and slowdown runs — and observing
+  the run leaves its metrics byte-identical.
 """
 
+import json
 import random
 
 import pytest
@@ -234,3 +238,112 @@ class TestRotationPolicySweep:
         policy = RotationPolicy(4, threshold=0.5, occupancy=lambda i: 0.9)
         assert policy.next_logger(0) is None
         assert policy.rotations == 0
+
+
+class TestRuntimeInvariantChecker:
+    """The PR's runtime checker over whole scheme runs.
+
+    Every scheme is swept under clean, single-failure, and slowdown
+    conditions with the checker chained onto the engine event hook; zero
+    violations must be reported, and the checked run's metrics snapshot
+    must be byte-identical to an unchecked run of the same scenario.
+    """
+
+    SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
+    CONDITIONS = {
+        "clean": "",
+        "single-failure": "fail@5:M0",
+        "slowdown": "slow@2:P0:4x6",
+    }
+
+    @staticmethod
+    def _run(scheme, fault_spec, checker=None):
+        from repro.faults.injector import run_faulted
+        from repro.faults.schedule import FaultSchedule
+        from repro.verify import Scenario
+        from repro.traces.compiled import truncate_trace
+
+        scenario = Scenario(
+            scheme=scheme,
+            workload="web_1",
+            scale=0.02,
+            n_pairs=2,
+            seed=8,
+            n_requests=120,
+            fault_spec=fault_spec,
+        )
+        trace = truncate_trace(scenario.build_trace(), scenario.n_requests)
+        return run_faulted(
+            scheme,
+            scenario.resolve_config(),
+            trace,
+            scenario.schedule(),
+            checker=checker,
+        )
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize(
+        "condition", sorted(CONDITIONS), ids=sorted(CONDITIONS)
+    )
+    def test_zero_violations_and_byte_identity(self, scheme, condition):
+        from repro.verify import InvariantChecker
+
+        checker = InvariantChecker()
+        checked = self._run(scheme, self.CONDITIONS[condition], checker)
+        assert checker.violations == []
+        assert checker.checks_run > 0
+
+        plain = self._run(scheme, self.CONDITIONS[condition])
+        assert json.dumps(
+            plain.metrics.to_dict(), sort_keys=True
+        ) == json.dumps(checked.metrics.to_dict(), sort_keys=True)
+
+    def test_checker_restores_previous_event_hook(self, sim):
+        from repro.core import build_controller
+        from repro.verify import InvariantChecker
+
+        from tests.conftest import small_config
+
+        controller = build_controller("rolo-p", sim, small_config())
+        seen = []
+        hook = seen.append
+        sim.set_event_hook(hook)
+        checker = InvariantChecker()
+        checker.install(sim, controller)
+        sim.schedule(0.0, lambda: None, label="tick")
+        sim.run()
+        checker.uninstall()
+        assert sim.event_hook is hook
+        assert seen  # the chained previous hook kept firing
+
+    def test_checker_rejects_double_install(self, sim):
+        from repro.core import build_controller
+        from repro.verify import InvariantChecker
+
+        from tests.conftest import small_config
+
+        controller = build_controller("rolo-p", sim, small_config())
+        checker = InvariantChecker()
+        checker.install(sim, controller)
+        with pytest.raises(RuntimeError):
+            checker.install(sim, controller)
+        checker.uninstall()
+
+    def test_detects_planted_power_illegality(self, sim):
+        from repro.core import build_controller
+        from repro.disk.power import PowerState
+        from repro.verify import InvariantChecker
+
+        from tests.conftest import small_config
+
+        controller = build_controller("raid10", sim, small_config())
+        checker = InvariantChecker()
+        checker.install(sim, controller)
+        # Force a disk into STANDBY while faking an op in service.
+        victim = controller.primaries[0]
+        victim.power.transition(sim.now, PowerState.STANDBY)
+        victim._in_service = object()
+        checker.uninstall()  # final sweep observes the illegal state
+        assert any(
+            v["check"] == "power-legality" for v in checker.violations
+        )
