@@ -7,7 +7,7 @@ test:
 	pytest tests/
 
 # Pinned macro benchmark suite: full matrix, gated against
-# benchmarks/baseline.json, report written to BENCH_6.json.
+# benchmarks/baseline.json, report written to BENCH_9.json.
 bench:
 	python -m repro.cli bench
 

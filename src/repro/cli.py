@@ -14,7 +14,7 @@ Subcommands::
     rolo run fig10 --profile          # per-cell timing report
     rolo trace summarize out.json     # inspect an event trace
     rolo bench --quick                # pinned perf matrix + regression gate
-    rolo bench --out BENCH_6.json     # full matrix, write the JSON report
+    rolo bench --out BENCH_9.json     # full matrix, write the JSON report
     rolo bench --only sweep           # just the end-to-end sweep scenarios
     rolo bench trend BENCH_*.json     # cross-run throughput drift report
     rolo simulate rolo-p src2_2 --metrics m.prom   # metered run + snapshot
@@ -399,7 +399,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-_BENCH_OUT_HINT = "BENCH_6.json"
+_BENCH_OUT_HINT = "BENCH_9.json"
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -431,8 +431,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         progress=lambda line: print(f"[bench] {line}", file=sys.stderr),
     )
 
+    gate = bench.overhead_gate(results)
+    if gate is not None:
+        verdict = "ok" if gate["passed"] else "FAIL"
+        print(
+            f"[bench] overhead gate: disabled/plain = "
+            f"{gate['disabled_vs_plain']:.4f} "
+            f"(floor {1.0 - gate['max_cost']:.2f}), metrics identical: "
+            f"{gate['metrics_identical']} -> {verdict}",
+            file=sys.stderr,
+        )
+
+    if args.profile_dump:
+        slowest = bench.slowest_matrix_scenario(results)
+        if slowest is None:
+            print(
+                "[bench] no matrix scenario ran; skipping --profile-dump",
+                file=sys.stderr,
+            )
+        else:
+            dump = bench.profile_scenario(slowest, quick=args.quick)
+            with open(args.profile_dump, "w", encoding="utf-8") as fh:
+                fh.write(dump)
+            print(
+                f"[bench] profile dump ({slowest}): {args.profile_dump}"
+            )
+
     if args.update_baseline:
+        if gate is not None and not gate["passed"]:
+            print(
+                "[bench] FAIL: overhead gate failed; not updating the "
+                "baseline",
+                file=sys.stderr,
+            )
+            return 1
         report = bench.build_report(results, mode)
+        if gate is not None:
+            report["overhead_gate"] = gate
         path = bench.write_report(report, baseline_path)
         print(f"[bench] baseline updated: {path}")
         print(bench.format_table(results))
@@ -450,10 +485,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
 
     report = bench.build_report(results, mode, comparison=comparison)
+    if gate is not None:
+        report["overhead_gate"] = gate
     if args.out:
         path = bench.write_report(report, args.out)
         print(f"[bench] wrote {path}")
     print(bench.format_table(results, comparison))
+    failed = False
     if comparison is not None and not comparison["passed"]:
         names = ", ".join(comparison["regressions"])
         print(
@@ -461,8 +499,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{tolerance:.0%} tolerance in: {names}",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if gate is not None and not gate["passed"]:
+        print(
+            "[bench] FAIL: disabled instrumentation costs more than "
+            f"{gate['max_cost']:.0%} vs plain (or metrics diverged)",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _bench_trend(args: argparse.Namespace) -> int:
@@ -946,6 +991,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated scenario-name substrings to run "
         "(filtered runs must not become baselines)",
+    )
+    bench_p.add_argument(
+        "--profile-dump",
+        metavar="PATH",
+        default=None,
+        help="after the suite, re-run the slowest matrix cell under "
+        "cProfile and write the top-30 dump here (CI artifact)",
     )
     bench_p.set_defaults(fn=_cmd_bench)
 

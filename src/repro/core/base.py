@@ -7,15 +7,33 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.config import ArrayConfig
 from repro.core.metrics import RunMetrics
-from repro.disk.disk import Disk, DiskOp, OpKind, Priority, Scheduler
+from repro.disk.disk import (
+    Disk,
+    DiskOp,
+    OpKind,
+    Priority,
+    Scheduler,
+    acquire_op,
+)
 from repro.disk.power import PowerState
-from repro.raid.request import IORequest, RequestKind
+from repro.raid.request import (
+    IORequest,
+    RequestKind,
+    acquire_request,
+    release_request,
+)
 from repro.sim.engine import Simulator
 from repro.traces.compiled import AnyTrace, CompiledTrace
 from repro.traces.record import Trace
 
 #: Kind-column decode table (indexes match KIND_READ / KIND_WRITE).
 _KIND_BY_CODE = (RequestKind.READ, RequestKind.WRITE)
+
+
+def _noop_note(*_args, **_kwargs) -> None:
+    """Module-level no-op bound in place of oracle notes when no oracle
+    is attached, so hot paths call straight through instead of testing
+    ``self.oracle is not None`` per segment."""
 
 
 class DataLossError(RuntimeError):
@@ -59,11 +77,38 @@ class Controller(abc.ABC):
         self._pending_sleep: Dict[Disk, Callable[[Disk], None]] = {}
         #: failed disk -> in-progress replacement (empty until a rebuild).
         self._rebuilding: Dict[Disk, Disk] = {}
+        #: Pair indices with a failed copy, maintained by ``fail_disk`` /
+        #: rebuild completion so hot routing (mirror pick, write targets)
+        #: skips the per-segment ``.failed`` property chains while the
+        #: array is healthy.
+        self._degraded_pairs: set = set()
         #: Optional repro.faults ConsistencyOracle; attached post-
         #: construction by ``ConsistencyOracle.attach``.  The oracle only
-        #: observes, so runs with it enabled are byte-identical.
+        #: observes, so runs with it enabled are byte-identical.  The
+        #: property setter binds ``_note_read`` once per attach — a
+        #: module-level no-op when detached — so read paths never test
+        #: for an oracle per segment.
         self.oracle = None
         self._build_disks()
+
+    # ------------------------------------------------------------------
+    # Oracle attachment (note elision)
+    # ------------------------------------------------------------------
+    @property
+    def oracle(self):
+        """The attached consistency oracle (``None`` when detached)."""
+        return self._oracle
+
+    @oracle.setter
+    def oracle(self, oracle) -> None:
+        self._oracle = oracle
+        # Cheap-argument notes resolve to bound oracle methods (or the
+        # module-level no-op) exactly once per attach; notes whose
+        # arguments are expensive to build (copy-name lists) keep an
+        # explicit ``if self.oracle is not None`` guard at the call site.
+        self._note_read = (
+            _noop_note if oracle is None else oracle.note_read
+        )
 
     # ------------------------------------------------------------------
     # Subclass interface
@@ -114,6 +159,8 @@ class Controller(abc.ABC):
         role, index = self._locate(disk)
         disk.fail()
         self._cancel_sleep(disk)
+        if role in ("primary", "mirror"):
+            self._degraded_pairs.add(index)
         self._trace_instant(
             "fault", "disk-failure", disk=disk.name, role=role
         )
@@ -150,6 +197,11 @@ class Controller(abc.ABC):
             replacement = process.replacement
             self._replace_disk(disk, replacement)
             del self._rebuilding[disk]
+            if role in ("primary", "mirror") and not (
+                self.primaries[index].failed
+                or self.mirrors[index].failed
+            ):
+                self._degraded_pairs.discard(index)
             self._trace_span(
                 "fault",
                 "rebuild",
@@ -184,14 +236,24 @@ class Controller(abc.ABC):
         """Scheme hook: the replacement has been swapped in for ``old``."""
 
     def _pair_degraded(self, pair: int) -> bool:
-        """True while either disk of a mirrored pair is failed."""
-        return self.primaries[pair].failed or self.mirrors[pair].failed
+        """True while either disk of a mirrored pair is failed.
+
+        Memoized: ``_degraded_pairs`` is maintained by ``fail_disk`` and
+        rebuild completion (the only failure/repair entry points), so the
+        healthy-array hot path is one set-membership test instead of two
+        property chains per segment.
+        """
+        return pair in self._degraded_pairs
 
     def _write_targets(self, pair: int) -> List[Disk]:
         """Where an in-place write to ``pair`` must land: the surviving
         copies, plus the replacement while a rebuild is running."""
+        primary = self.primaries[pair]
+        mirror = self.mirrors[pair]
+        if pair not in self._degraded_pairs:
+            return [primary, mirror]
         targets: List[Disk] = []
-        for disk in (self.primaries[pair], self.mirrors[pair]):
+        for disk in (primary, mirror):
             if disk.failed:
                 replacement = self._rebuilding.get(disk)
                 if replacement is not None:
@@ -204,11 +266,15 @@ class Controller(abc.ABC):
 
     def _read_source(self, pair: int) -> Disk:
         """Least-loaded surviving copy of a mirrored pair."""
-        alive = [
-            d
-            for d in (self.primaries[pair], self.mirrors[pair])
-            if not d.failed
-        ]
+        primary = self.primaries[pair]
+        mirror = self.mirrors[pair]
+        if pair not in self._degraded_pairs:
+            # Healthy pair: inline the two-way min (ties go to the
+            # primary, matching min() over [primary, mirror]).
+            if primary.queue_depth <= mirror.queue_depth:
+                return primary
+            return mirror
+        alive = [d for d in (primary, mirror) if not d.failed]
         if not alive:
             raise DataLossError(f"pair {pair} has lost both copies")
         if len(alive) == 1:
@@ -339,7 +405,11 @@ class Controller(abc.ABC):
                 callback = _done
         else:
             callback = on_complete
-        op = DiskOp(
+        # Slab-pooled: the disk recycles the op right after its completion
+        # callback runs, so no caller of _issue may retain the return value
+        # past that point (none do — the fan-in reads finish_time and
+        # forgets the op).
+        op = acquire_op(
             kind,
             offset // 512,
             nbytes,
@@ -465,11 +535,13 @@ class TraceDriver:
         kind = _KIND_BY_CODE[self._kinds[i]]
         offset = self._offsets[i]
         nbytes = self._sizes[i]
-        request = IORequest(
+        # Slab-pooled: _request_done releases the request after recording
+        # its response, so replay allocates no per-request objects.
+        request = acquire_request(
             kind,
             offset,
             nbytes,
-            arrival_time=self.sim.now,
+            arrival_time=self.sim._now,
             on_complete=self._request_done,
         )
         self._outstanding += 1
@@ -485,11 +557,11 @@ class TraceDriver:
         self._schedule_next()
 
     def _arrive(self, record) -> None:
-        request = IORequest(
+        request = acquire_request(
             record.kind,
             record.offset,
             record.nbytes,
-            arrival_time=self.sim.now,
+            arrival_time=self.sim._now,
             on_complete=self._request_done,
         )
         self._outstanding += 1
@@ -517,6 +589,7 @@ class TraceDriver:
             rid = self._rids.pop(request, None)
             if rid is not None:
                 tracer.request_completed(rid, self.sim.now)
+        release_request(request)
         self._outstanding -= 1
         self._check_done()
 

@@ -80,18 +80,27 @@ class GraidController(Controller):
     def submit(self, request: IORequest) -> None:
         segments = self.layout.map_extent(request.offset, request.nbytes)
         oracle = self.oracle
+        degraded = self._degraded_pairs
         if not request.is_write:
+            # note_read is a bound oracle method or the module-level no-op
+            # (oracle-note elision); the degraded-pairs set keeps the
+            # .failed property chain off the healthy read path.
+            note_read = self._note_read
+            primaries = self.primaries
             for seg in segments:
-                primary = self.primaries[seg.pair]
-                if not primary.failed:
-                    source, read_kind = primary, "home"
+                pair = seg.pair
+                if pair not in degraded:
+                    source, read_kind = primaries[pair], "home"
                 else:
-                    source, read_kind = (
-                        self._read_source(seg.pair),
-                        "degraded",
-                    )
-                if oracle is not None:
-                    oracle.note_read(self, seg, source.name, read_kind)
+                    primary = primaries[pair]
+                    if not primary.failed:
+                        source, read_kind = primary, "home"
+                    else:
+                        source, read_kind = (
+                            self._read_source(pair),
+                            "degraded",
+                        )
+                note_read(self, seg, source.name, read_kind)
                 self._issue(
                     source,
                     OpKind.READ,
@@ -106,7 +115,7 @@ class GraidController(Controller):
         # write both surviving copies in place and bypass the log.
         healthy = []
         for seg in segments:
-            if self._pair_degraded(seg.pair):
+            if seg.pair in degraded:
                 targets = self._write_targets(seg.pair)
                 for disk in targets:
                     self._issue(

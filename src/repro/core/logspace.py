@@ -36,6 +36,11 @@ class RegionAllocator:
         self.total = total
         self._free: List[Tuple[int, int]] = [(0, total)]  # (offset, length)
         self.allocated = 0
+        #: Memoized largest free interval; None = recompute on next read.
+        #: Every mutation invalidates, so ``fits`` probes between
+        #: mutations (the §III-C rotation-candidate scans) pay one max()
+        #: rather than one per probe.
+        self._largest: int = total
 
     @property
     def free_bytes(self) -> int:
@@ -43,7 +48,13 @@ class RegionAllocator:
 
     @property
     def largest_free_extent(self) -> int:
-        return max((length for _, length in self._free), default=0)
+        largest = self._largest
+        if largest is None:
+            largest = max(
+                (length for _, length in self._free), default=0
+            )
+            self._largest = largest
+        return largest
 
     @property
     def fragments(self) -> int:
@@ -65,6 +76,7 @@ class RegionAllocator:
                 else:
                     self._free[index] = (offset + nbytes, length - nbytes)
                 self.allocated += nbytes
+                self._largest = None
                 return offset
         raise LogSpaceError(
             f"no contiguous run of {nbytes} bytes "
@@ -92,6 +104,7 @@ class RegionAllocator:
             raise LogSpaceError("double free (overlaps next interval)")
         self._free.insert(lo, (offset, nbytes))
         self.allocated -= nbytes
+        self._largest = None
         # Coalesce with next, then previous.
         if lo + 1 < len(self._free):
             off, length = self._free[lo]

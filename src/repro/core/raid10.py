@@ -59,15 +59,20 @@ class Raid10Controller(Controller):
                         self, seg, [d.name for d in targets]
                     )
         else:
+            # note_read is a bound oracle method or the module-level no-op
+            # (oracle-note elision); its arguments are cheap, so the call
+            # is unconditional.
+            note_read = self._note_read
+            degraded = self._degraded_pairs
             for seg in segments:
-                source = self._read_source(seg.pair)
-                if oracle is not None:
-                    kind = (
-                        "degraded"
-                        if self._pair_degraded(seg.pair)
-                        else "balanced"
-                    )
-                    oracle.note_read(self, seg, source.name, kind)
+                pair = seg.pair
+                source = self._read_source(pair)
+                note_read(
+                    self,
+                    seg,
+                    source.name,
+                    "degraded" if pair in degraded else "balanced",
+                )
                 self._issue(
                     source,
                     OpKind.READ,

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List
 
+from repro.core.base import _noop_note
 from repro.core.metrics import RunMetrics
 from repro.disk.disk import Disk, DiskOp, OpKind, Priority, Scheduler
 from repro.disk.models import ULTRASTAR_36Z15, DiskSpec
@@ -109,8 +110,25 @@ class Raid5Controller:
         self.parity_rmw_count = 0
         #: Optional consistency oracle (set by ``oracle.attach``); parity
         #: controllers report data segments via ``note_parity_write`` /
-        #: ``note_parity_read``.
-        self.oracle = None
+        #: ``note_parity_read``.  The setter rebinds the ``_note_parity_*``
+        #: fast paths so the no-oracle hot loop never tests for one.
+        self._oracle = None
+        self._note_parity_write = _noop_note
+        self._note_parity_read = _noop_note
+
+    @property
+    def oracle(self):
+        return self._oracle
+
+    @oracle.setter
+    def oracle(self, oracle) -> None:
+        self._oracle = oracle
+        if oracle is None:
+            self._note_parity_write = _noop_note
+            self._note_parity_read = _noop_note
+        else:
+            self._note_parity_write = oracle.note_parity_write
+            self._note_parity_read = oracle.note_parity_read
 
     # ------------------------------------------------------------------
     def disks_by_role(self) -> Dict[str, List[Disk]]:
@@ -189,6 +207,7 @@ class Raid5Controller:
             request.seal(self.sim.now)
             return
         unit = self.layout.stripe_unit
+        note_parity_write = self._note_parity_write
         for row, row_off, row_len in self.layout.iter_row_extents(
             request.offset, request.nbytes
         ):
@@ -199,8 +218,7 @@ class Raid5Controller:
                 request.offset, request.nbytes, row
             ):
                 for seg in segments:
-                    if self.oracle is not None:
-                        self.oracle.note_parity_write(self, seg)
+                    note_parity_write(self, seg)
                     self._write_direct(
                         self.disks[seg.disk], seg.disk_offset, seg.nbytes,
                         request,
@@ -210,8 +228,7 @@ class Raid5Controller:
                 )
             else:
                 for seg in segments:
-                    if self.oracle is not None:
-                        self.oracle.note_parity_write(self, seg)
+                    note_parity_write(self, seg)
                     self._chain_rmw(
                         self.disks[seg.disk], seg.disk_offset, seg.nbytes,
                         request,
@@ -224,8 +241,7 @@ class Raid5Controller:
 
     def _issue_read(self, seg, request: IORequest) -> None:
         disk = self.disks[seg.disk]
-        if self.oracle is not None:
-            self.oracle.note_parity_read(self, seg, disk.name)
+        self._note_parity_read(self, seg, disk.name)
         request.add_waits()
         disk.submit(
             DiskOp(

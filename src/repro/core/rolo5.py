@@ -201,6 +201,7 @@ class Rolo5Controller(Raid5Controller):
             super().submit(request)
             return
         unit = self.layout.stripe_unit
+        note_parity_write = self._note_parity_write
         for row, row_off, row_len in self.layout.iter_row_extents(
             request.offset, request.nbytes
         ):
@@ -212,8 +213,7 @@ class Rolo5Controller(Raid5Controller):
                 # Full stripe: write everything in place; parity is fresh.
                 parity_disk, parity_offset = self.layout.parity_offset(row)
                 for seg in segments:
-                    if self.oracle is not None:
-                        self.oracle.note_parity_write(self, seg)
+                    note_parity_write(self, seg)
                     self._write_direct(
                         self.disks[seg.disk], seg.disk_offset, seg.nbytes,
                         request,
@@ -227,8 +227,7 @@ class Rolo5Controller(Raid5Controller):
                 # Fallback: synchronous parity RMW, as in the baseline.
                 parity_disk, parity_offset = self.layout.parity_offset(row)
                 for seg in segments:
-                    if self.oracle is not None:
-                        self.oracle.note_parity_write(self, seg)
+                    note_parity_write(self, seg)
                     self._chain_rmw(
                         self.disks[seg.disk], seg.disk_offset, seg.nbytes,
                         request,
@@ -243,8 +242,7 @@ class Rolo5Controller(Raid5Controller):
             # Parity-logged small write: read old data + write new data on
             # the data disk(s), append the delta to the on-duty log.
             for seg in segments:
-                if self.oracle is not None:
-                    self.oracle.note_parity_write(self, seg)
+                note_parity_write(self, seg)
                 self._chain_rmw(
                     self.disks[seg.disk], seg.disk_offset, seg.nbytes,
                     request,

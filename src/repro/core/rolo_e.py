@@ -135,8 +135,7 @@ class RoloEController(Controller):
         p_disk, m_disk = self._duty_disks()
         can_log = (
             self._mode is not _Mode.DESTAGING
-            and not p_disk.failed
-            and not m_disk.failed
+            and self._duty_pair not in self._degraded_pairs
             and p_log.fits(request.nbytes)
             and m_log.fits(request.nbytes)
         )
@@ -196,17 +195,24 @@ class RoloEController(Controller):
 
     def _submit_read(self, request: IORequest) -> None:
         segments = self.layout.map_extent(request.offset, request.nbytes)
-        oracle = self.oracle
+        # note_read is a bound oracle method or the module-level no-op
+        # (oracle-note elision); the degraded-pairs set keeps the .failed
+        # property chains off the healthy read path.
+        note_read = self._note_read
+        degraded = self._degraded_pairs
         if self._mode is _Mode.DESTAGING:
             # Everything is spinning; serve in place.
             for seg in segments:
-                primary = self.primaries[seg.pair]
-                source = (
-                    primary if not primary.failed
-                    else self._read_source(seg.pair)
-                )
-                if oracle is not None:
-                    oracle.note_read(self, seg, source.name, "destaging")
+                pair = seg.pair
+                if pair not in degraded:
+                    source = self.primaries[pair]
+                else:
+                    primary = self.primaries[pair]
+                    source = (
+                        primary if not primary.failed
+                        else self._read_source(pair)
+                    )
+                note_read(self, seg, source.name, "destaging")
                 self._issue(
                     source,
                     OpKind.READ,
@@ -215,40 +221,43 @@ class RoloEController(Controller):
             request.seal(self.sim.now)
             return
         p_disk, m_disk = self._duty_disks()
+        duty_degraded = self._duty_pair in degraded
         for seg in segments:
             if self._segment_hit(seg):
                 self.metrics.read_hits += 1
-                if p_disk.failed:
-                    disk = (
-                        m_disk if not m_disk.failed
-                        else self._read_source(seg.pair)
-                    )
-                elif m_disk.failed:
-                    disk = p_disk
-                else:
+                if not duty_degraded:
                     disk = (
                         p_disk
                         if p_disk.queue_depth <= m_disk.queue_depth
                         else m_disk
                     )
-                if oracle is not None:
-                    oracle.note_read(self, seg, disk.name, "log-hit")
+                elif p_disk.failed:
+                    disk = (
+                        m_disk if not m_disk.failed
+                        else self._read_source(seg.pair)
+                    )
+                else:
+                    disk = p_disk
+                note_read(self, seg, disk.name, "log-hit")
                 self._issue(
                     disk, OpKind.READ, seg.disk_offset, seg.nbytes,
                     request=request,
                 )
             else:
                 self.metrics.read_misses += 1
-                primary = self.primaries[seg.pair]
-                if not primary.failed:
-                    source, read_kind = primary, "home"
+                pair = seg.pair
+                if pair not in degraded:
+                    source, read_kind = self.primaries[pair], "home"
                 else:
-                    source, read_kind = (
-                        self._read_source(seg.pair),
-                        "degraded",
-                    )
-                if oracle is not None:
-                    oracle.note_read(self, seg, source.name, read_kind)
+                    primary = self.primaries[pair]
+                    if not primary.failed:
+                        source, read_kind = primary, "home"
+                    else:
+                        source, read_kind = (
+                            self._read_source(pair),
+                            "degraded",
+                        )
+                note_read(self, seg, source.name, read_kind)
                 self._issue(
                     source,
                     OpKind.READ,

@@ -51,7 +51,15 @@ class Scheduler(enum.Enum):
 
 
 class DiskOp:
-    """A single disk operation (one contiguous extent on one disk)."""
+    """A single disk operation (one contiguous extent on one disk).
+
+    Ops issued on the controller fan-in hot path come from a bounded slab
+    pool (:func:`acquire_op`): the disk releases a pooled op back to the
+    free list right after its completion callback returns, so steady-state
+    replay allocates no per-op objects.  Holders of pooled ops must
+    therefore drop their reference when ``on_complete`` fires (the
+    ``IORequest`` fan-in follows this contract).
+    """
 
     __slots__ = (
         "kind",
@@ -64,6 +72,7 @@ class DiskOp:
         "submit_time",
         "start_time",
         "finish_time",
+        "_pooled",
     )
 
     def __init__(
@@ -93,6 +102,8 @@ class DiskOp:
         self.submit_time: float = -1.0
         self.start_time: float = -1.0
         self.finish_time: float = -1.0
+        #: True only for ops from the slab pool; the disk recycles these.
+        self._pooled = False
 
     @property
     def latency(self) -> float:
@@ -104,6 +115,80 @@ class DiskOp:
             f"<DiskOp {self.kind.value} sector={self.sector} "
             f"bytes={self.nbytes} prio={self.priority.name}>"
         )
+
+
+#: Bounded slab pool of recycled :class:`DiskOp` objects (LIFO free list).
+_OP_POOL: List[DiskOp] = []
+_OP_POOL_MAX = 2048
+#: Census: [reused, released]; drops past the cap are implicit
+#: (``released - size`` over a quiet pool) and kept out of the hot path.
+_OP_POOL_STATS = [0, 0]
+
+
+def acquire_op(
+    kind: OpKind,
+    sector: int,
+    nbytes: int,
+    priority: Priority = Priority.FOREGROUND,
+    on_complete: Optional[Callable[[DiskOp], None]] = None,
+    sequential_hint: bool = False,
+) -> DiskOp:
+    """Check a :class:`DiskOp` out of the slab pool (or allocate one).
+
+    The returned op is marked pooled: the servicing disk returns it to the
+    free list immediately after its completion callback runs, so callers
+    must not retain it past ``on_complete``.
+    """
+    pool = _OP_POOL
+    if pool:
+        op = pool.pop()
+        if sector < 0:
+            raise ValueError("negative sector")
+        if nbytes <= 0:
+            raise ValueError("op size must be positive")
+        op.kind = kind
+        op.sector = sector
+        op.nbytes = nbytes
+        op.priority = priority
+        op.on_complete = on_complete
+        op.sequential_hint = sequential_hint
+        op.submit_time = -1.0
+        op.start_time = -1.0
+        op.finish_time = -1.0
+        op._pooled = True
+        _OP_POOL_STATS[0] += 1
+        return op
+    op = DiskOp(
+        kind,
+        sector,
+        nbytes,
+        priority=priority,
+        on_complete=on_complete,
+        sequential_hint=sequential_hint,
+    )
+    op._pooled = True
+    return op
+
+
+def release_op(op: DiskOp) -> None:
+    """Return a pooled op to the free list (drops it once the cap is hit)."""
+    op.on_complete = None
+    op.tag = None
+    op._pooled = False
+    pool = _OP_POOL
+    if len(pool) < _OP_POOL_MAX:
+        pool.append(op)
+        _OP_POOL_STATS[1] += 1
+
+
+def op_pool_stats() -> dict:
+    """Census of the DiskOp slab pool (size, cap, reuse/release counts)."""
+    return {
+        "size": len(_OP_POOL),
+        "max": _OP_POOL_MAX,
+        "reused": _OP_POOL_STATS[0],
+        "released": _OP_POOL_STATS[1],
+    }
 
 
 class Disk:
@@ -135,17 +220,19 @@ class Disk:
             PowerModel(spec), sim.now, initial_state
         )
         # Tracing: ``tracer`` is a repro.obs Tracer; the NullTracer default
-        # is falsy, so the disabled path normalizes to None and every
-        # emission below guards with a plain identity check.
-        self.tracer = tracer if tracer else None
-        if self.tracer is not None:
-            self.tracer.power_state(
+        # is falsy, so the disabled path normalizes to None.  Rather than
+        # guarding per completed op, attaching/detaching a tracer or an
+        # op observer swaps the bound completion method (see
+        # ``_select_complete``), so the unobserved path carries no guards.
+        self._tracer = tracer if tracer else None
+        self._op_observer = None
+        self._complete = self._complete_fast
+        if self._tracer is not None:
+            self._tracer.power_state(
                 name, None, initial_state.value, sim.now
             )
             self.power.on_transition = self._trace_power
-        # Metrics: optional ``op_observer(disk, op)`` fired per completed
-        # operation, same observe-only discipline as the tracer guard.
-        self.op_observer = None
+            self._complete = self._complete_observed
         self._queues: List[Deque[DiskOp]] = [
             collections.deque() for _ in Priority
         ]
@@ -165,8 +252,14 @@ class Disk:
         self.on_media_error: Optional[Callable[["Disk", int, int], None]] = None
         self._idle_listeners: List[Callable[["Disk"], None]] = []
         # Hot-path constants: the per-op event label is invariant, so build
-        # it once instead of formatting an f-string per operation.
+        # it once instead of formatting an f-string per operation; the
+        # scheduler test and mechanical-model lookups are likewise bound at
+        # construction (scheduler choice is construction-time only).
         self._io_label = f"{name}:io"
+        self._fcfs = scheduler is Scheduler.FCFS
+        self._service_time = self.mechanics.service_time
+        self._end_sector = self.mechanics.end_sector
+        self._transfer_time = spec.transfer_time
         # Cumulative statistics.
         self.ops_completed = 0
         self.bytes_transferred = 0
@@ -181,7 +274,44 @@ class Disk:
     def _trace_power(
         self, now: float, old: PowerState, new: PowerState
     ) -> None:
-        self.tracer.power_state(self.name, old.value, new.value, now)
+        self._tracer.power_state(self.name, old.value, new.value, now)
+
+    # ------------------------------------------------------------------
+    # Observation attach points (completion-path specialization)
+    # ------------------------------------------------------------------
+    def _select_complete(self) -> None:
+        """Bind the completion method matching the attached observers.
+
+        Called whenever ``tracer``/``op_observer`` change: with neither
+        attached, completions run a guard-free fast path; with either, the
+        observed variant is bound.  Ops already scheduled keep the bound
+        method captured at schedule time, so attach/detach must happen
+        between runs (the instrumentation layers do).
+        """
+        if self._tracer is None and self._op_observer is None:
+            self._complete = self._complete_fast
+        else:
+            self._complete = self._complete_observed
+
+    @property
+    def tracer(self):
+        """The attached structured tracer (``None`` when tracing is off)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer if tracer else None
+        self._select_complete()
+
+    @property
+    def op_observer(self):
+        """Optional ``observer(disk, op)`` fired per completed operation."""
+        return self._op_observer
+
+    @op_observer.setter
+    def op_observer(self, observer) -> None:
+        self._op_observer = observer
+        self._select_complete()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -259,7 +389,7 @@ class Disk:
         state = self.power._state
         if state is PowerState.FAILED:
             raise DiskFailedError(f"{self.name} has failed")
-        op.submit_time = self.sim.now
+        op.submit_time = self.sim._now
         self._queues[op.priority].append(op)
         if state is PowerState.STANDBY:
             self._begin_spin_up()
@@ -296,7 +426,7 @@ class Disk:
         if state is not PowerState.IDLE and state is not PowerState.ACTIVE:
             return
         queues = self._queues
-        if self.scheduler is Scheduler.FCFS:
+        if self._fcfs:
             # Inline the FCFS pop: strict arrival order within priority.
             if queues[0]:
                 op = queues[0].popleft()
@@ -308,7 +438,7 @@ class Disk:
             op = self._next_op()
             if op is None:
                 return
-        now = self.sim.now
+        now = self.sim._now
         self._in_service = op
         op.start_time = now
         if self._idle_since >= 0:
@@ -319,19 +449,25 @@ class Disk:
         if state is not PowerState.ACTIVE:
             power.transition(now, PowerState.ACTIVE)
         if op.sequential_hint:
-            service = self.spec.transfer_time(op.nbytes)
+            service = self._transfer_time(op.nbytes)
         else:
-            service = self.mechanics.service_time(
+            service = self._service_time(
                 self._head_sector, op.sector, op.nbytes
             )
         if self.slowdown_factor != 1.0:
             service *= self.slowdown_factor
-        self.sim.schedule(service, self._complete, op, label=self._io_label)
+        # ``at`` directly: skips schedule()'s negative-delay guard and one
+        # call frame on the busiest scheduling site in the simulator.
+        self.sim.at(now + service, self._complete, op, label=self._io_label)
 
-    def _complete(self, op: DiskOp) -> None:
-        now = self.sim.now
+    # Completion runs once per simulated op; ``self._complete`` is bound to
+    # exactly one of the two variants below by ``_select_complete``, so the
+    # common unobserved path never tests for a tracer or an op observer.
+
+    def _complete_fast(self, op: DiskOp) -> None:
+        now = self.sim._now
         op.finish_time = now
-        self._head_sector = self.mechanics.end_sector(op.sector, op.nbytes)
+        self._head_sector = end = self._end_sector(op.sector, op.nbytes)
         self._in_service = None
         self.ops_completed += 1
         self.bytes_transferred += op.nbytes
@@ -341,9 +477,42 @@ class Disk:
         else:
             self.background_ops += 1
         if self._latent_errors and op.kind is OpKind.READ:
-            self._surface_latent_errors(op.sector, self._head_sector)
-        if self.tracer is not None:
-            self.tracer.disk_op(
+            self._surface_latent_errors(op.sector, end)
+        callback = op.on_complete
+        if callback is not None:
+            callback(op)
+        if op._pooled:
+            release_op(op)
+        if self._queues[0] or self._queues[1]:
+            self._try_start()
+        elif self._in_service is None:
+            # The guard matters: ``on_complete`` may have submitted a new
+            # op to this very disk, whose nested ``_try_start`` already put
+            # it in service — dropping to IDLE then would bill idle watts
+            # for a servicing disk and corrupt the idle-gap accounting.
+            power = self.power
+            if power._state is PowerState.ACTIVE:
+                power.transition(now, PowerState.IDLE)
+            self._idle_since = now
+            self._notify_idle()
+
+    def _complete_observed(self, op: DiskOp) -> None:
+        now = self.sim._now
+        op.finish_time = now
+        self._head_sector = end = self._end_sector(op.sector, op.nbytes)
+        self._in_service = None
+        self.ops_completed += 1
+        self.bytes_transferred += op.nbytes
+        self.busy_time += now - op.start_time
+        if op.priority is Priority.FOREGROUND:
+            self.foreground_ops += 1
+        else:
+            self.background_ops += 1
+        if self._latent_errors and op.kind is OpKind.READ:
+            self._surface_latent_errors(op.sector, end)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.disk_op(
                 self.name,
                 op.kind.value,
                 op.priority.name.lower(),
@@ -353,18 +522,19 @@ class Disk:
                 op.start_time,
                 now,
             )
-        observer = self.op_observer
+        observer = self._op_observer
         if observer is not None:
             observer(self, op)
-        if op.on_complete is not None:
-            op.on_complete(op)
+        callback = op.on_complete
+        if callback is not None:
+            callback(op)
+        if op._pooled:
+            release_op(op)
         if self._queues[0] or self._queues[1]:
             self._try_start()
         elif self._in_service is None:
-            # The guard matters: ``on_complete`` may have submitted a new
-            # op to this very disk, whose nested ``_try_start`` already put
-            # it in service — dropping to IDLE then would bill idle watts
-            # for a servicing disk and corrupt the idle-gap accounting.
+            # See _complete_fast: never idle-bill a disk that on_complete
+            # already put back in service.
             power = self.power
             if power._state is PowerState.ACTIVE:
                 power.transition(now, PowerState.IDLE)
@@ -403,6 +573,10 @@ class Disk:
                 self.on_media_error(self, lo, hi - lo)
 
     def _notify_idle(self) -> None:
+        if not self._idle_listeners:
+            # Nobody is watching: skip the is_quiet property chain, which
+            # this hot path would otherwise evaluate on every completion.
+            return
         if not self.is_quiet:
             return
         for listener in list(self._idle_listeners):

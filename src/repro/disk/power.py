@@ -31,6 +31,13 @@ class PowerState(enum.Enum):
     #: Dead drive: draws no power, services nothing (failure injection).
     FAILED = "failed"
 
+    #: ``Enum.__hash__`` hashes the member *name* through a Python-level
+    #: call; power-state keyed dicts sit on the per-op accounting path
+    #: (draw + residency lookups twice per serviced op), so use the
+    #: C-level identity hash instead.  Members are process-local
+    #: singletons, so identity hashing is exact.
+    __hash__ = object.__hash__
+
     @property
     def spun_up(self) -> bool:
         """Whether the platters are at full speed (servicing possible)."""
@@ -70,6 +77,9 @@ class EnergyAccountant:
         # start/completion, so it must not pay a method call per sample.
         self._draw = model._draw
         self._state = initial
+        #: Draw of the *current* state, refreshed on every transition, so
+        #: the integration step pays no dict lookup for the open span.
+        self._watts = self._draw[initial]
         self._last_time = start_time
         self._start_time = start_time
         self.energy_joules = 0.0
@@ -97,14 +107,19 @@ class EnergyAccountant:
             raise ValueError("time went backwards in energy accounting")
         state = self._state
         elapsed = now - last
-        self.energy_joules += self._draw[state] * elapsed
-        self.state_durations[state] += elapsed
+        if elapsed:
+            # Skipping the zero-elapsed accounting is exact (x += 0.0 is
+            # the identity) and avoids two dict operations per same-time
+            # transition.
+            self.energy_joules += self._watts * elapsed
+            self.state_durations[state] += elapsed
         self._last_time = now
         if new_state is PowerState.SPINNING_UP:
             self.spin_up_count += 1
         elif new_state is PowerState.SPINNING_DOWN:
             self.spin_down_count += 1
         self._state = new_state
+        self._watts = self._draw[new_state]
         if self.on_transition is not None and new_state is not state:
             self.on_transition(now, state, new_state)
 
@@ -137,8 +152,7 @@ class EnergyAccountant:
         """Energy consumed up to ``now``, including the open state span."""
         if now < self._last_time:
             raise ValueError("time went backwards in energy accounting")
-        open_energy = self._model.draw(self._state) * (now - self._last_time)
-        return self.energy_joules + open_energy
+        return self.energy_joules + self._watts * (now - self._last_time)
 
     def duty_fraction(self, state: PowerState, now: float) -> float:
         """Fraction of elapsed time spent in ``state`` (including open span)."""
@@ -155,5 +169,5 @@ class EnergyAccountant:
         total = self.elapsed(now)
         if total <= 0:
             return 0.0
-        open_energy = self._model.draw(self._state) * (now - self._last_time)
+        open_energy = self._watts * (now - self._last_time)
         return (self.energy_joules + open_energy) / total

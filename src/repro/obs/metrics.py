@@ -1001,7 +1001,10 @@ class RunInstrumentation:
 
     # -- hooks ----------------------------------------------------------
     def install(self) -> None:
-        self.sim.set_event_hook(self._on_event)
+        # Register through the engine's fused-hook builder so layered
+        # observers (the invariant checker, profilers) compose in fixed
+        # order and teardown re-selects the no-hook specialized loop.
+        self.sim.add_event_observer(self._on_event)
         scheme = self.scheme
         registry = self.registry
         latency = {
@@ -1079,7 +1082,7 @@ class RunInstrumentation:
         controller = self.controller
         watts = 0.0
         for disk in controller.all_disks():
-            watts += disk.power._draw[disk.power._state]
+            watts += disk.power._watts
         self._power_hist.observe(watts)
         if watts > self._power_peak:
             self._power_peak = watts
@@ -1095,7 +1098,7 @@ class RunInstrumentation:
     def uninstall(self) -> None:
         if not self._installed:
             return
-        self.sim.set_event_hook(None)
+        self.sim.remove_event_observer(self._on_event)
         self.controller.metrics.on_response = None
         for disk in self.controller.all_disks():
             if disk.op_observer is self._op_observer:
@@ -1130,6 +1133,16 @@ class RunInstrumentation:
             "sim_heap_peak", "peak event-heap size (sampled)",
             agg="max", scheme=scheme,
         ).set_max(float(self._heap_peak))
+        registry.gauge(
+            "sim_event_free_pool_size",
+            "recycled Event objects parked for reuse at harvest",
+            agg="max", scheme=scheme,
+        ).set_max(float(sim.free_pool_size))
+        registry.gauge(
+            "sim_event_free_pool_max",
+            "hard cap on the engine event free list",
+            agg="max", scheme=scheme,
+        ).set_max(float(sim.free_pool_max))
         registry.gauge(
             "sim_wall_seconds", "wall-clock time of metered runs",
             agg="sum", scheme=scheme,

@@ -87,6 +87,7 @@ class SimulatorProbe:
 
     def __enter__(self) -> "SimulatorProbe":
         self._events_before = self.sim.events_processed
+        self._hook = None
         if self.count_labels:
             counts = self.profile.label_counts
 
@@ -94,14 +95,16 @@ class SimulatorProbe:
                 label = event.label or "(unlabeled)"
                 counts[label] = counts.get(label, 0) + 1
 
-            self.sim.set_event_hook(_hook)
+            self._hook = _hook
+            self.sim.add_event_observer(_hook)
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
         self.profile.wall_s = time.perf_counter() - self._t0
-        if self.count_labels:
-            self.sim.set_event_hook(None)
+        if self._hook is not None:
+            self.sim.remove_event_observer(self._hook)
+            self._hook = None
         self.profile.events = self.sim.events_processed - self._events_before
         self.profile.sim_time_s = self.sim.now
 

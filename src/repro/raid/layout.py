@@ -114,16 +114,25 @@ class Raid10Layout:
             )
         segments: List[StripeSegment] = []
         unit = self.stripe_unit
+        n_pairs = self.n_pairs
+        spread = self.spread
+        multiplier = self._multiplier
+        rows = self._rows
         cursor = offset
         remaining = nbytes
         while remaining > 0:
             stripe_number = cursor // unit
             within = cursor - stripe_number * unit
-            take = min(unit - within, remaining)
-            pair = stripe_number % self.n_pairs
-            row = self._physical_row(stripe_number // self.n_pairs)
+            take = unit - within
+            if remaining < take:
+                take = remaining
+            # _physical_row inlined: this loop body runs once per segment
+            # of every mapped request and dominates layout cost.
+            row = stripe_number // n_pairs
+            if spread:
+                row = (row * multiplier) % rows
             segments.append(
-                StripeSegment(pair, row * unit + within, take)
+                StripeSegment(stripe_number % n_pairs, row * unit + within, take)
             )
             cursor += take
             remaining -= take

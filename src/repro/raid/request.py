@@ -18,7 +18,13 @@ class RequestKind(enum.Enum):
 
 
 class IORequest:
-    """One array-level request with fan-in completion tracking."""
+    """One array-level request with fan-in completion tracking.
+
+    Replay-path requests come from a bounded slab pool
+    (:func:`acquire_request`): the trace driver releases each request once
+    its fan-in has fired and the response is recorded, so steady-state
+    replay allocates no per-request objects.
+    """
 
     __slots__ = (
         "kind",
@@ -29,6 +35,7 @@ class IORequest:
         "on_complete",
         "_outstanding",
         "_sealed",
+        "_pooled",
     )
 
     def __init__(
@@ -49,6 +56,7 @@ class IORequest:
         self.on_complete = on_complete
         self._outstanding = 0
         self._sealed = False
+        self._pooled = False
 
     @property
     def is_write(self) -> bool:
@@ -110,3 +118,68 @@ class IORequest:
             f"<IORequest {self.kind.value} off={self.offset} "
             f"bytes={self.nbytes} t={self.arrival_time:.4f}>"
         )
+
+
+#: Bounded slab pool of recycled :class:`IORequest` objects (LIFO).
+_REQUEST_POOL: list = []
+_REQUEST_POOL_MAX = 1024
+#: Census: [reused, released].
+_REQUEST_POOL_STATS = [0, 0]
+
+
+def acquire_request(
+    kind: RequestKind,
+    offset: int,
+    nbytes: int,
+    arrival_time: float,
+    on_complete: Optional[Callable[[IORequest], None]] = None,
+) -> IORequest:
+    """Check an :class:`IORequest` out of the slab pool (or allocate one).
+
+    The returned request is marked pooled; the owner must hand it back via
+    :func:`release_request` once the fan-in completed and the response has
+    been recorded, and nothing may retain it past that point.
+    """
+    pool = _REQUEST_POOL
+    if pool:
+        request = pool.pop()
+        if offset < 0 or nbytes <= 0:
+            raise ValueError("invalid request extent")
+        request.kind = kind
+        request.offset = offset
+        request.nbytes = nbytes
+        request.arrival_time = arrival_time
+        request.finish_time = -1.0
+        request.on_complete = on_complete
+        request._outstanding = 0
+        request._sealed = False
+        request._pooled = True
+        _REQUEST_POOL_STATS[0] += 1
+        return request
+    request = IORequest(
+        kind, offset, nbytes, arrival_time, on_complete=on_complete
+    )
+    request._pooled = True
+    return request
+
+
+def release_request(request: IORequest) -> None:
+    """Return a pooled request to the free list (no-op for unpooled)."""
+    if not request._pooled:
+        return
+    request.on_complete = None
+    request._pooled = False
+    pool = _REQUEST_POOL
+    if len(pool) < _REQUEST_POOL_MAX:
+        pool.append(request)
+        _REQUEST_POOL_STATS[1] += 1
+
+
+def request_pool_stats() -> dict:
+    """Census of the IORequest slab pool."""
+    return {
+        "size": len(_REQUEST_POOL),
+        "max": _REQUEST_POOL_MAX,
+        "reused": _REQUEST_POOL_STATS[0],
+        "released": _REQUEST_POOL_STATS[1],
+    }

@@ -16,6 +16,11 @@ Hot-path design (every simulated disk op passes through here twice):
   a census of them and compacts the heap in place once they exceed half of
   a non-trivial heap, so pathological ``Timer`` re-arm patterns cannot grow
   the heap without bound.
+* Per-event observers are specialized away at setup time: installing or
+  clearing a hook (``set_event_hook`` / ``add_event_observer``) selects one
+  of several monomorphic run loops, so the no-hook loop carries zero hook
+  branches and the hooked loop calls a single pre-fused closure
+  (:func:`fuse_observers`) chaining all observers in registration order.
 """
 
 from __future__ import annotations
@@ -34,6 +39,37 @@ _COMPACT_MIN_HEAP = 1024
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+def fuse_observers(*observers: Optional[Callable]) -> Optional[Callable]:
+    """Fuse per-event observers into one closure, in fixed (given) order.
+
+    ``None`` entries are dropped.  Returns ``None`` for an empty chain and
+    the observer itself for a single-element chain, so identity checks on
+    :attr:`Simulator.event_hook` keep working for lone observers.  Layered
+    instrumentation (tracing, metrics, invariant checking) must register
+    through this builder — via :meth:`Simulator.add_event_observer` — so
+    the run loop only ever calls one pre-fused callable per event.
+    """
+    chain = tuple(obs for obs in observers if obs is not None)
+    if not chain:
+        return None
+    if len(chain) == 1:
+        return chain[0]
+    if len(chain) == 2:
+        first, second = chain
+
+        def fused_pair(event, _first=first, _second=second):
+            _first(event)
+            _second(event)
+
+        return fused_pair
+
+    def fused(event, _chain=chain):
+        for obs in _chain:
+            obs(event)
+
+    return fused
 
 
 class Event:
@@ -108,6 +144,10 @@ class Simulator:
         self._stopped = False
         self.events_processed = 0
         self._event_hook: Optional[Callable[[Event], None]] = None
+        #: Registered per-event observers, fused into ``_event_hook``.
+        self._event_observers: List[Callable[[Event], None]] = []
+        #: The monomorphic run loop selected at hook-(un)install time.
+        self._run_loop: Callable[[Optional[float]], None] = self._run_nohook
         #: Recycled Event objects awaiting reuse.
         self._free: List[Event] = []
         #: Census of cancelled events still sitting in the heap.  Kept
@@ -124,11 +164,49 @@ class Simulator:
 
         The hook fires with each :class:`Event` just before its callback
         runs.  It is for observation only (profiling, label counting) and
-        must not mutate simulator state.  When no hook is installed,
-        :meth:`run` uses its original uninstrumented loop, so the disabled
-        path costs nothing per event.
+        must not mutate simulator state.  Replaces the whole observer
+        chain; layered observers should prefer :meth:`add_event_observer`.
+
+        Installation selects the run loop: with no hook :meth:`run`
+        dispatches to a loop with zero hook branches, so the disabled path
+        costs literally nothing per event; with a hook it dispatches to a
+        loop calling the single pre-fused observer chain.
         """
+        self._event_observers = [] if hook is None else [hook]
         self._event_hook = hook
+        self._run_loop = self._run_nohook if hook is None else self._run_hooked
+
+    def add_event_observer(self, observer: Callable[[Event], None]) -> None:
+        """Append ``observer`` to the per-event chain and re-fuse the hook.
+
+        Observers fire in registration order through one fused closure
+        (:func:`fuse_observers`); the run loop never walks a list per
+        event.  This is the registration point for every layered observer
+        (metrics instrumentation, invariant checker, profiler).
+        """
+        if observer is None:
+            raise SimulationError("event observer must not be None")
+        self._event_observers.append(observer)
+        self._refuse_hook()
+
+    def remove_event_observer(self, observer: Callable[[Event], None]) -> None:
+        """Remove one registration of ``observer`` and re-fuse the hook.
+
+        Removing the last observer restores the no-hook specialized loop
+        (``event_hook`` reads ``None`` again).  Unknown observers are
+        ignored so teardown stays idempotent.
+        """
+        try:
+            self._event_observers.remove(observer)
+        except ValueError:
+            return
+        self._refuse_hook()
+
+    def _refuse_hook(self) -> None:
+        """Rebuild the fused hook + loop selection from the observer list."""
+        hook = fuse_observers(*self._event_observers)
+        self._event_hook = hook
+        self._run_loop = self._run_nohook if hook is None else self._run_hooked
 
     @property
     def event_hook(self) -> Optional[Callable[["Event"], None]]:
@@ -154,6 +232,16 @@ class Simulator:
     def cancelled_pending(self) -> int:
         """Census of cancelled events still occupying heap slots."""
         return self._cancelled
+
+    @property
+    def free_pool_size(self) -> int:
+        """Recycled :class:`Event` objects currently parked for reuse."""
+        return len(self._free)
+
+    @property
+    def free_pool_max(self) -> int:
+        """Hard cap on the event free list (excess events are dropped)."""
+        return _FREE_LIST_MAX
 
     def schedule(
         self,
@@ -300,25 +388,40 @@ class Simulator:
         Returns the final virtual time.  When ``until`` is given the clock is
         advanced to exactly ``until`` even if the last event fired earlier,
         so time-weighted statistics close cleanly.
+
+        Dispatches to the monomorphic loop selected when the event hook was
+        last (un)installed, so the common no-hook path never tests for
+        instrumentation — not even once per run.
         """
         if self._running:
             raise SimulationError("simulator is re-entrant only via step()")
         self._running = True
         self._stopped = False
-        # Hot loop: inlined peek()+step() so each event costs exactly one
-        # heap pop (cancelled events are skipped in place), with the heap,
-        # heappop and free list bound to locals.  This loop dominates every
-        # simulation's profile.  A profiling hook, when installed, selects
-        # a separate instrumented loop so the common path stays untouched.
-        # compact() mutates the heap and free lists in place, so these
-        # local bindings survive a compaction from inside a callback.
+        try:
+            self._run_loop(until)
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    # The loops below are the simulation's profile-dominating code.  Each
+    # is monomorphic: selected once at set_event_hook/add_event_observer
+    # time (and, for the ``until`` split, once per run call), with zero
+    # feature tests per event.  They inline peek()+step() so each event
+    # costs exactly one heap pop (cancelled events are skipped in place),
+    # with the heap, heappop and free list bound to locals.  compact()
+    # mutates the heap and free lists in place, so those local bindings
+    # survive a compaction from inside a callback.
+
+    def _run_nohook(self, until: Optional[float]) -> None:
+        """Fast loop: no hook branches at all (the disabled-cost path)."""
         heap = self._heap
         heappop = heapq.heappop
-        hook = self._event_hook
         free = self._free
         processed = 0
         try:
-            if hook is None:
+            if until is None:
                 while heap and not self._stopped:
                     entry = heap[0]
                     event = entry[2]
@@ -331,11 +434,8 @@ class Simulator:
                         if len(free) < _FREE_LIST_MAX:
                             free.append(event)
                         continue
-                    time = entry[0]
-                    if until is not None and time > until:
-                        break
                     heappop(heap)
-                    self._now = time
+                    self._now = entry[0]
                     processed += 1
                     event.callback(*event.args)
                     event.callback = None
@@ -350,23 +450,53 @@ class Simulator:
                         heappop(heap)
                         if self._cancelled > 0:
                             self._cancelled -= 1
-                        self._recycle(event)
+                        event.callback = None
+                        event.args = None
+                        if len(free) < _FREE_LIST_MAX:
+                            free.append(event)
                         continue
                     time = entry[0]
-                    if until is not None and time > until:
+                    if time > until:
                         break
                     heappop(heap)
                     self._now = time
                     processed += 1
-                    hook(event)
                     event.callback(*event.args)
-                    self._recycle(event)
+                    event.callback = None
+                    event.args = None
+                    if len(free) < _FREE_LIST_MAX:
+                        free.append(event)
         finally:
             self.events_processed += processed
-            self._running = False
-        if until is not None and self._now < until:
-            self._now = until
-        return self._now
+
+    def _run_hooked(self, until: Optional[float]) -> None:
+        """Instrumented loop: calls the single pre-fused observer chain."""
+        heap = self._heap
+        heappop = heapq.heappop
+        hook = self._event_hook
+        free = self._free
+        processed = 0
+        try:
+            while heap and not self._stopped:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    heappop(heap)
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
+                    self._recycle(event)
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    break
+                heappop(heap)
+                self._now = time
+                processed += 1
+                hook(event)
+                event.callback(*event.args)
+                self._recycle(event)
+        finally:
+            self.events_processed += processed
 
 
 class Timer:

@@ -63,11 +63,13 @@ class InvariantChecker:
 
     # ------------------------------------------------------------------
     def install(self, sim, controller) -> None:
-        """Chain onto ``sim``'s event hook; call before the run starts.
+        """Register on ``sim``'s fused event hook; call before the run.
 
-        Must be installed inside any metrics instrumentation (after
-        ``instrument`` enters, uninstalled before it exits) so both
-        observers unwind cleanly; the previous hook keeps firing first.
+        Registers through :meth:`Simulator.add_event_observer`, so any
+        observers already installed (metrics instrumentation, profilers)
+        keep firing first and each layer unwinds independently — the
+        engine fuses the chain into a single closure, the run loop never
+        tests per event.
         """
         if self._installed:
             raise RuntimeError("invariant checker already installed")
@@ -83,23 +85,18 @@ class InvariantChecker:
         self._failed_count = sum(
             1 for d in controller.all_disks() if d.failed
         )
-        prev = sim.event_hook
-        self._prev_hook = prev
-        if prev is None:
-            sim.set_event_hook(self._on_event)
-        else:
-            def chained(event, _prev=prev, _on=self._on_event):
-                _prev(event)
-                _on(event)
-
-            sim.set_event_hook(chained)
+        sim.add_event_observer(self._on_event)
 
     def uninstall(self) -> None:
-        """Run a final sweep and restore the previous event hook."""
+        """Run a final sweep and deregister from the event hook.
+
+        Removing the last observer restores the engine's no-hook
+        specialized run loop (``sim.event_hook`` reads ``None`` again).
+        """
         if not self._installed:
             return
         self._check_now()
-        self.sim.set_event_hook(self._prev_hook)
+        self.sim.remove_event_observer(self._on_event)
         self._prev_hook = None
         self._installed = False
 

@@ -27,6 +27,11 @@ def test_scenario_names_are_pinned():
         "matrix:rolo-r:mixed",
         "matrix:rolo-e:mixed",
         "fault:rolo-p:write-heavy",
+        "overhead:plain",
+        "overhead:disabled",
+        "overhead:traced",
+        "overhead:metered",
+        "overhead:verified",
         "sweep:matrix-full:jobs1",
         "sweep:matrix-full:jobs2",
         "sweep:matrix-full:jobs4",
