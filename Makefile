@@ -7,7 +7,7 @@ test:
 	pytest tests/
 
 # Pinned macro benchmark suite: full matrix, gated against
-# benchmarks/baseline.json, report written to BENCH_9.json.
+# benchmarks/baseline.json, report written to BENCH_10.json.
 bench:
 	python -m repro.cli bench
 

@@ -50,7 +50,7 @@ SCHEMES = ("raid10", "graid", "rolo-p", "rolo-r", "rolo-e")
 WORKLOADS = ("write-heavy", "mixed")
 
 DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "baseline.json")
-DEFAULT_OUT_PATH = "BENCH_9.json"
+DEFAULT_OUT_PATH = "BENCH_10.json"
 DEFAULT_TOLERANCE = 0.25
 
 #: Hot-path replay length per mode.
@@ -294,7 +294,14 @@ OVERHEAD_SCHEME = "rolo-r"
 #: any observation machinery; ``disabled`` attaches the full stack and
 #: detaches it again before the run (the "literally free when off"
 #: claim); the rest run with one layer enabled.
-OVERHEAD_VARIANTS = ("plain", "disabled", "traced", "metered", "verified")
+OVERHEAD_VARIANTS = (
+    "plain",
+    "disabled",
+    "traced",
+    "metered",
+    "verified",
+    "spanned",
+)
 
 #: Wall-clock repeats per variant; the reported figure is the best run
 #: (minimum wall), which filters scheduler noise out of a 2% gate.
@@ -379,6 +386,12 @@ def _overhead_run(
         controller = build_controller(OVERHEAD_SCHEME, sim, config)
         checker = InvariantChecker()
         checker.install(sim, controller)
+    elif variant == "spanned":
+        from repro.obs import SpanRecorder
+
+        controller = build_controller(
+            OVERHEAD_SCHEME, sim, config, tracer=SpanRecorder()
+        )
     else:
         raise ValueError(f"unknown overhead variant {variant!r}")
     started = time.perf_counter()

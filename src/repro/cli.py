@@ -13,8 +13,11 @@ Subcommands::
     rolo simulate rolo-p src2_2 --trace out.json --sample-interval 0.5
     rolo run fig10 --profile          # per-cell timing report
     rolo trace summarize out.json     # inspect an event trace
+    rolo simulate rolo-e src2_2 --spans spans.jsonl  # causal spans + attribution
+    rolo trace explore spans.jsonl    # self-contained HTML timeline explorer
+    rolo report --attribution         # report with critical-path columns
     rolo bench --quick                # pinned perf matrix + regression gate
-    rolo bench --out BENCH_9.json     # full matrix, write the JSON report
+    rolo bench --out BENCH_10.json    # full matrix, write the JSON report
     rolo bench --only sweep           # just the end-to-end sweep scenarios
     rolo bench trend BENCH_*.json     # cross-run throughput drift report
     rolo simulate rolo-p src2_2 --metrics m.prom   # metered run + snapshot
@@ -223,11 +226,16 @@ def _cmd_mttdl(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    observed = args.trace or args.sample_interval is not None or args.profile
+    observed = (
+        args.trace
+        or args.spans
+        or args.sample_interval is not None
+        or args.profile
+    )
     if args.metrics and observed:
         print(
-            "--metrics cannot combine with --trace/--sample-interval/"
-            "--profile (one observer per run)",
+            "--metrics cannot combine with --trace/--spans/"
+            "--sample-interval/--profile (one observer per run)",
             file=sys.stderr,
         )
         return 2
@@ -249,6 +257,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             trace_events=bool(args.trace),
             sample_interval=args.sample_interval,
             profile=args.profile,
+            spans=bool(args.spans),
         )
         metrics = run.metrics
     else:
@@ -278,6 +287,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else:
             count = write_chrome_trace(events, args.trace)
         print(f"[trace] wrote {count} events to {args.trace} ({fmt})")
+    if args.spans:
+        from repro.obs import (
+            attribute_events,
+            attribution_summary,
+            format_attribution,
+        )
+
+        events = run.tracer.sorted_events()
+        if args.spans.endswith(".jsonl"):
+            count = write_jsonl(events, args.spans)
+            fmt = "jsonl"
+        else:
+            count = write_chrome_trace(events, args.spans)
+            fmt = "chrome"
+        print(f"[spans] wrote {count} events to {args.spans} ({fmt})")
+        print(
+            format_attribution(
+                attribution_summary(attribute_events(events))
+            )
+        )
     if run.sampler is not None:
         if args.samples:
             count = run.sampler.to_csv(args.samples)
@@ -375,7 +404,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         report = build_run_report(
-            cells, jobs=args.jobs, title=args.title
+            cells,
+            jobs=args.jobs,
+            title=args.title,
+            attribution=args.attribution,
         )
     finally:
         result_cache.configure(
@@ -394,12 +426,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import read_events, summarize_events
 
-    events = read_events(args.file)
-    print(summarize_events(events))
+    if args.trace_command == "explore":
+        import os
+
+        from repro.obs import render_explorer_html
+
+        events = list(read_events(args.file))
+        html_text = render_explorer_html(events, top=args.top)
+        out = args.out or os.path.splitext(args.file)[0] + ".html"
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(html_text)
+        print(f"[explore] wrote {out} ({len(events)} events)")
+        return 0
+    print(summarize_events(read_events(args.file)))
     return 0
 
 
-_BENCH_OUT_HINT = "BENCH_9.json"
+_BENCH_OUT_HINT = "BENCH_10.json"
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -844,6 +887,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file format (default: by --trace extension)",
     )
     sim_p.add_argument(
+        "--spans",
+        metavar="PATH",
+        default=None,
+        help="record causal spans with per-op phase timings (.jsonl -> "
+        "JSON Lines, otherwise Chrome trace JSON with flow arrows) and "
+        "print the critical-path latency attribution",
+    )
+    sim_p.add_argument(
         "--sample-interval",
         type=float,
         metavar="SECONDS",
@@ -912,15 +963,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="output format (default: by --out extension)",
     )
+    report_p.add_argument(
+        "--attribution",
+        action="store_true",
+        help="re-run each cell span-traced and add critical-path "
+        "latency-attribution columns (queue/spin-up/interference/"
+        "seek/rotation/transfer)",
+    )
     report_p.add_argument("--no-cache", action="store_true")
     report_p.add_argument("--cache-dir", default=None)
     report_p.set_defaults(fn=_cmd_report)
 
     trace_p = sub.add_parser(
-        "trace", help="inspect a recorded event trace"
+        "trace", help="inspect or render a recorded event trace"
     )
-    trace_p.add_argument("trace_command", choices=("summarize",))
+    trace_p.add_argument("trace_command", choices=("summarize", "explore"))
     trace_p.add_argument("file", help="trace file (Chrome JSON or JSONL)")
+    trace_p.add_argument(
+        "--out",
+        default=None,
+        help="explore: write the HTML timeline here "
+        "(default: trace file with .html extension)",
+    )
+    trace_p.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        help="explore: span trees for the K slowest requests (default 8)",
+    )
     trace_p.set_defaults(fn=_cmd_trace)
 
     bench_p = sub.add_parser(

@@ -57,14 +57,19 @@ RAID5_SCHEMES = {
 
 
 def build_raid5_controller(
-    scheme: str, sim: Simulator, config: Raid5Config, oracle: object = None
+    scheme: str,
+    sim: Simulator,
+    config: Raid5Config,
+    tracer: object = None,
+    oracle: object = None,
 ):
     """Construct a parity-based controller ('raid5' or 'rolo-5').
 
-    ``oracle`` is attached like in :func:`build_controller`; the parity
-    controllers report data-segment writes/reads through the oracle's
-    ``note_parity_write``/``note_parity_read`` hooks (parity units are
-    derived state and deliberately untracked).
+    ``tracer`` behaves as in :func:`build_controller` (falsy tracers leave
+    the controller uninstrumented).  ``oracle`` is attached the same way;
+    the parity controllers report data-segment writes/reads through the
+    oracle's ``note_parity_write``/``note_parity_read`` hooks (parity
+    units are derived state and deliberately untracked).
     """
     key = scheme.lower()
     try:
@@ -72,7 +77,7 @@ def build_raid5_controller(
     except KeyError:
         known = ", ".join(sorted(RAID5_SCHEMES))
         raise KeyError(f"unknown scheme {scheme!r}; known: {known}") from None
-    controller = cls(sim, config)
+    controller = cls(sim, config, tracer=tracer)
     if oracle is not None:
         oracle.attach(controller)
     return controller

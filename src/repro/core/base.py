@@ -402,6 +402,10 @@ class Controller(abc.ABC):
                     _cb(op)
                     request.op_done(self.sim.now)
 
+                # Span layer linkage: lets a span-aware tracer map this
+                # op back to its owning request (bound methods carry
+                # __self__; closures need the explicit tag).
+                _done._span_owner = request
                 callback = _done
         else:
             callback = on_complete
@@ -552,6 +556,7 @@ class TraceDriver:
             tracer.request_arrived(
                 rid, kind.value, offset, nbytes, self.sim.now
             )
+            tracer.request_admitted(rid, request)
         self._dispatched += 1
         self.controller.submit(request)
         self._schedule_next()
@@ -576,6 +581,7 @@ class TraceDriver:
                 record.nbytes,
                 self.sim.now,
             )
+            tracer.request_admitted(rid, request)
         self._dispatched += 1
         self.controller.submit(request)
         self._schedule_next()

@@ -86,16 +86,20 @@ class Raid5Controller:
 
     scheme_name = "RAID5"
 
-    #: Parity controllers are not wired for event tracing (§VII future
-    #: work); ``run_trace`` reads this and skips all trace emission.
-    tracer = None
-
-    def __init__(self, sim: Simulator, config: Raid5Config) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Raid5Config,
+        tracer: object = None,
+    ) -> None:
         self.sim = sim
         self.config = config
         self.layout = config.layout()
         self.metrics = RunMetrics()
         self._finalized = False
+        # Same contract as Controller: a falsy tracer normalizes to None
+        # so run_trace and the disks guard with one identity check.
+        self.tracer = tracer if tracer else None
         self.disks: List[Disk] = [
             Disk(
                 sim,
@@ -103,6 +107,7 @@ class Raid5Controller:
                 f"D{i}",
                 initial_state=PowerState.IDLE,
                 scheduler=Scheduler(config.disk_scheduler),
+                tracer=self.tracer,
             )
             for i in range(config.n_disks)
         ]
@@ -172,10 +177,15 @@ class Raid5Controller:
                     offset // 512,
                     nbytes,
                     priority=Priority.FOREGROUND,
-                    on_complete=lambda _o: request.op_done(self.sim.now),
+                    # op.finish_time is sim.now when the completion fires,
+                    # so the bound fan-in equals the former per-op closure.
+                    on_complete=request.op_complete,
                 )
             )
 
+        # Span linkage: the read's closure hides the owning request from
+        # callback introspection, so tag it explicitly.
+        after_read._span_owner = request
         disk.submit(
             DiskOp(
                 OpKind.READ,
@@ -196,7 +206,7 @@ class Raid5Controller:
                 offset // 512,
                 nbytes,
                 priority=Priority.FOREGROUND,
-                on_complete=lambda _o: request.op_done(self.sim.now),
+                on_complete=request.op_complete,
             )
         )
 
@@ -249,6 +259,6 @@ class Raid5Controller:
                 seg.disk_offset // 512,
                 seg.nbytes,
                 priority=Priority.FOREGROUND,
-                on_complete=lambda _o: request.op_done(self.sim.now),
+                on_complete=request.op_complete,
             )
         )

@@ -56,6 +56,10 @@ class ParityUpdatePump:
         self.rows = sorted(rows)
         self.idle_gated = idle_gated
         self.on_complete = on_complete
+        #: Span-layer identity: ops completed via the pump's bound methods
+        #: attribute their interference to this name.
+        self.name = "rolo5-parity-pump"
+        self.started_at = sim.now
         self._index = 0
         self._in_flight = False
         self.rows_updated = 0
@@ -131,6 +135,8 @@ class ParityUpdatePump:
                 )
             )
 
+        # Span linkage: closures hide the pump from callback introspection.
+        after_read._span_owner = self
         disk.submit(
             DiskOp(
                 OpKind.READ,
@@ -161,8 +167,13 @@ class Rolo5Controller(Raid5Controller):
 
     scheme_name = "RoLo-5"
 
-    def __init__(self, sim: Simulator, config: Raid5Config) -> None:
-        super().__init__(sim, config)
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Raid5Config,
+        tracer: object = None,
+    ) -> None:
+        super().__init__(sim, config, tracer=tracer)
         self.log_regions: List[LogRegion] = [
             LogRegion(
                 f"D{i}-log",
@@ -257,7 +268,7 @@ class Rolo5Controller(Raid5Controller):
                     row_len,
                     priority=Priority.FOREGROUND,
                     sequential_hint=True,
-                    on_complete=lambda _o: request.op_done(self.sim.now),
+                    on_complete=request.op_complete,
                 )
             )
             self._dirty_rows.add(row)
@@ -277,6 +288,14 @@ class Rolo5Controller(Raid5Controller):
         self._epoch += 1
         self.metrics.rotations += 1
         self._on_duty = candidate
+        if self.tracer is not None:
+            self.tracer.instant(
+                "rotation",
+                "hand-off",
+                self.scheme_name,
+                self.sim.now,
+                to_disk=f"D{candidate}",
+            )
         self._schedule_parity_round()
 
     def _schedule_parity_round(self) -> None:
@@ -310,6 +329,15 @@ class Rolo5Controller(Raid5Controller):
         self.metrics.destaged_bytes += (
             pump.rows_updated * self.layout.stripe_unit
         )
+        if self.tracer is not None:
+            self.tracer.span(
+                "destage",
+                pump.name,
+                self.scheme_name,
+                pump.started_at,
+                self.sim.now,
+                rows=pump.rows_updated,
+            )
         self._reclaim(epoch_limit)
         self._pump = None
         if self._pending_rows or (self._draining and self._dirty_rows):

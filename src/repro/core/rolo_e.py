@@ -323,6 +323,9 @@ class RoloEController(Controller):
                     unit,
                     priority=Priority.BACKGROUND,
                     sequential_hint=True,
+                    # Fire-and-forget, so no completion callback carries
+                    # the owner; the tag names the span-layer culprit.
+                    tag="rolo-e:cache-fill",
                 )
             )
 

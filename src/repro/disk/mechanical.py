@@ -114,6 +114,46 @@ class MechanicalModel:
             memo[distance] = seek = raw
         return seek + self._rot_latency + transfer
 
+    def seek_rotation(
+        self, head_sector: int, start_sector: int
+    ) -> "tuple[float, float]":
+        """``(seek, rotation)`` components of :meth:`service_time`.
+
+        Mirrors the arithmetic (including the shared seek memo and clamps)
+        exactly, so for any op::
+
+            service_time(h, s, n) == seek + rot + nbytes / transfer_rate
+
+        with ``seek, rot = seek_rotation(h, s)``.  Used by the span layer
+        to decompose a completed op's service interval into mechanical
+        phases without perturbing the hot path.
+        """
+        if head_sector == start_sector:
+            return (0.0, 0.0)
+        spc = self._sectors_per_cylinder
+        cmax = self._max_cylinder
+        from_cyl = head_sector // spc
+        if from_cyl > cmax:
+            from_cyl = cmax
+        to_cyl = start_sector // spc
+        if to_cyl > cmax:
+            to_cyl = cmax
+        distance = from_cyl - to_cyl
+        if distance == 0:
+            return (0.0, self._rot_latency)
+        if distance < 0:
+            distance = -distance
+        memo = self._seek_memo
+        seek = memo.get(distance)
+        if seek is None:
+            raw = self._seek_a + self._seek_b * math.sqrt(distance)
+            if raw < self._t2t_seek:
+                raw = self._t2t_seek
+            elif raw > self._full_seek:
+                raw = self._full_seek
+            memo[distance] = seek = raw
+        return (seek, self._rot_latency)
+
     @staticmethod
     def end_sector(start_sector: int, nbytes: int) -> int:
         """Head position after transferring ``nbytes`` from ``start_sector``."""

@@ -377,19 +377,27 @@ def run_cell_observed(
     trace_events: bool = False,
     sample_interval: Optional[float] = None,
     profile: bool = False,
+    spans: bool = False,
 ) -> ObservedRun:
     """Execute one cell with observability attached, bypassing all caches.
 
     Tracing, sampling and profiling all observe without mutating, so the
     returned metrics are byte-identical to ``cell.execute()``'s (the cache
     layers are bypassed anyway to guarantee the artifacts describe *this*
-    run, not a memoized one).
+    run, not a memoized one).  ``spans=True`` upgrades the tracer to a
+    :class:`~repro.obs.spans.SpanRecorder` (implies ``trace_events``): the
+    event stream then carries per-op phase spans suitable for
+    :func:`~repro.obs.attribution.attribute_events`.
     """
     from repro.obs.profiler import SimulatorProbe
     from repro.obs.sampler import TimeSeriesSampler
+    from repro.obs.spans import SpanRecorder
     from repro.obs.tracer import RecordingTracer
 
-    tracer = RecordingTracer() if trace_events else None
+    if spans:
+        tracer = SpanRecorder()
+    else:
+        tracer = RecordingTracer() if trace_events else None
     trace, config = cell.materialize()
     sim = Simulator()
     controller = build_controller(cell.scheme, sim, config, tracer=tracer)

@@ -50,11 +50,15 @@ def build_run_report(
     cells: List[Cell],
     jobs: Optional[int] = None,
     title: str = "RoLo run report",
+    attribution: bool = False,
 ) -> Dict[str, Any]:
     """Execute (or fetch) every cell and assemble the report structure.
 
     The returned dict is plain data — the renderers below and the tests'
-    golden assertions both consume it.
+    golden assertions both consume it.  ``attribution=True`` re-runs each
+    cell span-traced (bypassing caches; metrics stay byte-identical per
+    the observability contract) and attaches a critical-path latency
+    decomposition per cell — see :mod:`repro.obs.attribution`.
     """
     execute_cells(cells, jobs=jobs if jobs is not None else 1)
     entries = []
@@ -64,6 +68,9 @@ def build_run_report(
             metrics = cell.execute()
             runner.install_result(cell.key(), metrics)
         entries.append(_cell_entry(cell, metrics))
+    if attribution:
+        for cell, entry in zip(cells, entries):
+            entry["attribution"] = _cell_attribution(cell)
     workloads = sorted({e["workload"] for e in entries})
     schemes = sorted({e["scheme"] for e in entries})
     return {
@@ -73,6 +80,17 @@ def build_run_report(
         "cells": entries,
         "comparison": _scheme_comparison(entries),
     }
+
+
+def _cell_attribution(cell: Cell) -> Dict[str, Any]:
+    """Span-trace one cell and summarize its latency decomposition."""
+    from repro.experiments.runner import run_cell_observed
+    from repro.obs.attribution import attribute_events, attribution_summary
+
+    observed = run_cell_observed(cell, spans=True)
+    return attribution_summary(
+        attribute_events(observed.tracer.sorted_events())
+    )
 
 
 def _cell_entry(cell: Cell, metrics: RunMetrics) -> Dict[str, Any]:
@@ -210,8 +228,62 @@ def render_markdown(report: Dict[str, Any]) -> str:
                 f"| {row['energy_ratio']:.2f}x "
                 f"| {row['p95_ratio']:.2f}x |"
             )
+    attribution_rows = _attribution_rows(report)
+    if attribution_rows:
+        lines.append("")
+        lines.append("## Critical-path attribution")
+        lines.append("")
+        lines.append(
+            "| " + " | ".join(label for _, label in _ATTR_COLUMNS) + " |"
+        )
+        lines.append("|" + "|".join("---" for _ in _ATTR_COLUMNS) + "|")
+        for row in attribution_rows:
+            lines.append(
+                "| "
+                + " | ".join(str(row[key]) for key, _ in _ATTR_COLUMNS)
+                + " |"
+            )
     lines.append("")
     return "\n".join(lines)
+
+
+#: Columns of the critical-path attribution table (``--attribution``).
+_ATTR_COLUMNS = (
+    ("scheme", "scheme"),
+    ("workload", "workload"),
+    ("stat", "stat"),
+    ("latency_ms", "latency ms"),
+    ("queue", "queue"),
+    ("spinup", "spin-up"),
+    ("interference", "interfere"),
+    ("seek", "seek"),
+    ("rotation", "rotation"),
+    ("transfer", "transfer"),
+    ("culprit", "culprit"),
+)
+
+
+def _attribution_rows(report: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Flatten per-cell attribution summaries into renderable rows."""
+    rows: List[Dict[str, Any]] = []
+    for entry in report["cells"]:
+        summary = entry.get("attribution")
+        if not summary or not summary.get("count"):
+            continue
+        stats = [("mean", summary["mean"])]
+        stats.extend(sorted(summary["quantiles"].items()))
+        for stat, detail in stats:
+            row = {
+                "scheme": entry["scheme"],
+                "workload": entry["workload"],
+                "stat": stat,
+                "latency_ms": f"{detail['latency_s'] * 1e3:.3f}",
+                "culprit": detail.get("culprit") or "-",
+            }
+            for phase, fraction in detail["fractions"].items():
+                row[phase] = f"{fraction * 100:.1f}%"
+            rows.append(row)
+    return rows
 
 
 def _latency_charts(report: Dict[str, Any]) -> List[str]:
@@ -286,6 +358,25 @@ def render_html(report: Dict[str, Any]) -> str:
             + "".join(comparison_rows)
             + "</table>"
         )
+    attribution_html = ""
+    attribution_rows = _attribution_rows(report)
+    if attribution_rows:
+        attr_heads = "".join(
+            f"<th>{label}</th>" for _, label in _ATTR_COLUMNS
+        )
+        attr_body = "".join(
+            "<tr>"
+            + "".join(
+                f"<td>{html.escape(str(row[key]))}</td>"
+                for key, _ in _ATTR_COLUMNS
+            )
+            + "</tr>"
+            for row in attribution_rows
+        )
+        attribution_html = (
+            "<h2>Critical-path attribution</h2>"
+            f"<table><tr>{attr_heads}</tr>{attr_body}</table>"
+        )
     state_heads = "".join(f"<th>{s.value}</th>" for s in states)
     charts = "\n".join(_latency_charts(report))
     return f"""<!DOCTYPE html>
@@ -307,6 +398,7 @@ td:first-child, th:first-child {{ text-align: left; }}
 {chr(10).join(residency_rows)}
 </table>
 {comparison_html}
+{attribution_html}
 {charts}
 </body></html>
 """

@@ -26,6 +26,16 @@ from repro.obs.metrics import (
     read_snapshot,
     render_registry,
 )
+from repro.obs.attribution import (
+    ATTRIBUTION_QUANTILES,
+    PHASES,
+    RequestAttribution,
+    attribute_events,
+    attribution_summary,
+    format_attribution,
+    slowest_requests,
+)
+from repro.obs.explorer import render_explorer_html
 from repro.obs.export import (
     read_events,
     summarize_events,
@@ -33,6 +43,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.spans import SpanRecorder
 from repro.obs.profiler import (
     CellProfile,
     ProfileReport,
@@ -56,9 +67,18 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "RecordingTracer",
+    "SpanRecorder",
     "TraceEvent",
     "REQUEST_TRACK",
     "normalize",
+    "ATTRIBUTION_QUANTILES",
+    "PHASES",
+    "RequestAttribution",
+    "attribute_events",
+    "attribution_summary",
+    "format_attribution",
+    "slowest_requests",
+    "render_explorer_html",
     "read_events",
     "summarize_events",
     "to_chrome_trace",

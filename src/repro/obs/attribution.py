@@ -1,0 +1,275 @@
+"""Critical-path latency attribution over causal span streams.
+
+Consumes the :class:`~repro.obs.spans.SpanRecorder` event stream and
+decomposes every request's measured response time into six phases::
+
+    queue + spinup + interference + seek + rotation + transfer == measured
+
+The decomposition follows the request's *critical operation* — the
+constituent disk op whose completion fired the fan-in last (for a
+mirrored write, the slower copy; for a logged write, the log append if it
+finished last).  Its mechanical phases come straight from the span attrs
+(``seek_s``/``rot_s``/``transfer_s``, exact by construction).  The wait
+window ``[submit, start]`` on the critical disk is then split causally:
+
+* ``spinup`` — overlap with the disk's ``spinning_up`` power spans (the
+  RoLo-E read-miss penalty, §III-D);
+* ``interference`` — overlap with *background* op service on the same
+  disk (destage batches, parity pumps, cache fills stealing the arm);
+* ``queue`` — the residual: foreground queueing plus any controller-side
+  delay between arrival and submission.
+
+Because ``queue`` is a residual, the six phases sum to the measured
+latency exactly (within float rounding), which is what the acceptance
+tests assert.  Requests that completed without issuing any disk op (e.g.
+fully cache-served reads) attribute everything to ``queue``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.tracer import TraceEvent
+
+#: Phase keys, in presentation order.
+PHASES = (
+    "queue",
+    "spinup",
+    "interference",
+    "seek",
+    "rotation",
+    "transfer",
+)
+
+#: Default report quantiles (matches ``experiments.runreport``).
+ATTRIBUTION_QUANTILES = (0.5, 0.95, 0.99)
+
+
+@dataclasses.dataclass
+class RequestAttribution:
+    """One request's latency decomposition."""
+
+    rid: int
+    kind: str
+    arrival: float
+    measured: float
+    #: phase -> seconds; keys are exactly :data:`PHASES`.
+    phases: Dict[str, float]
+    #: Disk that served the critical operation (None for zero-op requests).
+    disk: Optional[str] = None
+    #: Name of the causal culprit behind the largest non-service wait
+    #: component: ``"spin-up:<disk>"`` or a background process name.
+    culprit: Optional[str] = None
+
+    def fractions(self) -> Dict[str, float]:
+        """Phase fractions of measured latency (all zero when measured
+        is zero)."""
+        if self.measured <= 0:
+            return {phase: 0.0 for phase in PHASES}
+        return {
+            phase: self.phases[phase] / self.measured for phase in PHASES
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rid": self.rid,
+            "kind": self.kind,
+            "arrival": self.arrival,
+            "measured_s": self.measured,
+            "phases": dict(self.phases),
+            "disk": self.disk,
+            "culprit": self.culprit,
+        }
+
+
+def _overlap(lo: float, hi: float, spans: List[Tuple[float, float]]) -> float:
+    total = 0.0
+    for start, end in spans:
+        o = min(hi, end) - max(lo, start)
+        if o > 0:
+            total += o
+    return total
+
+
+def attribute_events(
+    events: Iterable[TraceEvent],
+) -> List[RequestAttribution]:
+    """Decompose every request span in ``events`` (ordered by rid).
+
+    ``events`` must come from a span-traced run (disk-op spans carrying
+    ``seek_s``/``rot_s``/``transfer_s`` and ``rid``/``proc`` attrs); a
+    plain-traced stream yields all-queue attributions, which is honest
+    but useless.
+    """
+    requests: List[TraceEvent] = []
+    ops_by_rid: Dict[int, List[TraceEvent]] = {}
+    spinup_by_disk: Dict[str, List[Tuple[float, float]]] = {}
+    background_by_disk: Dict[str, List[Tuple[float, float, str]]] = {}
+    for event in events:
+        if event.kind != "span":
+            continue
+        if event.category == "request":
+            requests.append(event)
+        elif event.category == "disk_op":
+            rid = event.attrs.get("rid")
+            if rid is not None:
+                ops_by_rid.setdefault(rid, []).append(event)
+            if event.name.endswith(":background"):
+                background_by_disk.setdefault(event.track, []).append(
+                    (
+                        event.ts,
+                        event.ts + event.dur,
+                        str(event.attrs.get("proc", "background")),
+                    )
+                )
+        elif event.category == "power" and event.name == "spinning_up":
+            spinup_by_disk.setdefault(event.track, []).append(
+                (event.ts, event.ts + event.dur)
+            )
+
+    out: List[RequestAttribution] = []
+    for req in requests:
+        rid = req.attrs.get("rid")
+        measured = req.dur
+        phases = {phase: 0.0 for phase in PHASES}
+        disk: Optional[str] = None
+        culprit: Optional[str] = None
+        ops = ops_by_rid.get(rid)
+        if ops:
+            critical = max(ops, key=lambda e: (e.ts + e.dur, e.ts))
+            disk = critical.track
+            attrs = critical.attrs
+            seek = float(attrs.get("seek_s", 0.0))
+            rot = float(attrs.get("rot_s", 0.0))
+            transfer = float(attrs.get("transfer_s", critical.dur))
+            submit = critical.ts - float(attrs.get("queued_s", 0.0))
+            start = critical.ts
+            spinup = _overlap(
+                submit, start, spinup_by_disk.get(disk, [])
+            )
+            interference = 0.0
+            worst_overlap = 0.0
+            worst_proc: Optional[str] = None
+            for b_lo, b_hi, proc in background_by_disk.get(disk, []):
+                o = min(start, b_hi) - max(submit, b_lo)
+                if o > 0:
+                    interference += o
+                    if o > worst_overlap:
+                        worst_overlap = o
+                        worst_proc = proc
+            phases["seek"] = seek
+            phases["rotation"] = rot
+            phases["transfer"] = transfer
+            phases["spinup"] = spinup
+            phases["interference"] = interference
+            if spinup > 0 and spinup >= interference:
+                culprit = f"spin-up:{disk}"
+            elif worst_proc is not None:
+                culprit = worst_proc
+        # Residual: controller-side delay + foreground queueing.  By
+        # construction it is non-negative (up to float rounding) and
+        # makes the six phases sum to the measured latency exactly.
+        phases["queue"] = measured - sum(
+            phases[p] for p in PHASES if p != "queue"
+        )
+        out.append(
+            RequestAttribution(
+                rid=rid if rid is not None else -1,
+                kind=req.name,
+                arrival=req.ts,
+                measured=measured,
+                phases=phases,
+                disk=disk,
+                culprit=culprit,
+            )
+        )
+    out.sort(key=lambda a: a.rid)
+    return out
+
+
+def _quantile_entry(
+    ranked: List[RequestAttribution], q: float
+) -> Dict[str, Any]:
+    # Nearest-rank: the breakdown reported for p95 is a *real* request's
+    # decomposition, so phases still sum to its measured latency exactly.
+    n = len(ranked)
+    index = min(n - 1, max(0, math.ceil(q * n) - 1))
+    pick = ranked[index]
+    return {
+        "latency_s": pick.measured,
+        "rid": pick.rid,
+        "disk": pick.disk,
+        "culprit": pick.culprit,
+        "phases": dict(pick.phases),
+        "fractions": pick.fractions(),
+    }
+
+
+def attribution_summary(
+    attributions: List[RequestAttribution],
+    quantiles: Tuple[float, ...] = ATTRIBUTION_QUANTILES,
+) -> Dict[str, Any]:
+    """Aggregate per-request decompositions into a report-ready summary.
+
+    ``quantiles`` entries pick the nearest-rank request by measured
+    latency and report *that request's* exact breakdown; ``mean`` sums
+    phases across all requests (so its phases sum to the mean latency).
+    """
+    if not attributions:
+        return {"count": 0, "mean": None, "quantiles": {}}
+    ranked = sorted(attributions, key=lambda a: a.measured)
+    n = len(ranked)
+    mean_phases = {
+        phase: sum(a.phases[phase] for a in ranked) / n for phase in PHASES
+    }
+    mean_latency = sum(a.measured for a in ranked) / n
+    mean_fractions = (
+        {p: v / mean_latency for p, v in mean_phases.items()}
+        if mean_latency > 0
+        else {p: 0.0 for p in PHASES}
+    )
+    return {
+        "count": n,
+        "mean": {
+            "latency_s": mean_latency,
+            "phases": mean_phases,
+            "fractions": mean_fractions,
+        },
+        "quantiles": {
+            f"p{int(q * 100)}": _quantile_entry(ranked, q)
+            for q in quantiles
+        },
+    }
+
+
+def slowest_requests(
+    attributions: List[RequestAttribution], k: int
+) -> List[RequestAttribution]:
+    """The ``k`` slowest requests, slowest first (explorer drill-down)."""
+    return sorted(attributions, key=lambda a: -a.measured)[:k]
+
+
+def format_attribution(summary: Dict[str, Any]) -> str:
+    """Plain-text rendering of :func:`attribution_summary` for the CLI."""
+    if not summary.get("count"):
+        return "no requests attributed"
+    lines = [
+        f"{summary['count']} requests attributed",
+        "  phase fractions (of measured latency):",
+    ]
+    header = "    {:<6}".format("")
+    header += "".join(f"{p:>14}" for p in PHASES)
+    header += f"{'latency_ms':>14}"
+    lines.append(header)
+    rows = [("mean", summary["mean"])]
+    rows.extend(sorted(summary["quantiles"].items()))
+    for label, entry in rows:
+        row = f"    {label:<6}"
+        row += "".join(
+            f"{entry['fractions'][p]:>13.1%} " for p in PHASES
+        )
+        row += f"{entry['latency_s'] * 1e3:>13.3f} "
+        lines.append(row.rstrip())
+    return "\n".join(lines)

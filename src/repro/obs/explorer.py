@@ -1,0 +1,375 @@
+"""Self-contained HTML timeline explorer for span-traced runs.
+
+``render_explorer_html`` turns a :class:`~repro.obs.spans.SpanRecorder`
+event stream into one standalone HTML document (inline SVG only, no
+scripts, no external assets) with four sections:
+
+1. **Power-state Gantt** — one lane per disk, colored by power state,
+   with rotation hand-off markers and the logging/destage cycle windows
+   as a top strip.  This is Fig. 2/3 of the paper as a timeline.
+2. **Log occupancy** — the ``occupancy:*`` counter series, drawn with the
+   shared :func:`repro.experiments.svg.render_chart_svg` line-chart
+   helper (same palette and axis treatment as the figure pipeline).
+3. **Slowest requests** — the K worst requests' span trees: a stacked
+   phase bar (queue / spin-up / interference / seek / rotation /
+   transfer, from :mod:`repro.obs.attribution`) plus each constituent
+   disk op drawn against the request's own time base, with its causal
+   culprit named.
+4. **Attribution table** — the run-level phase fraction summary.
+
+Everything styles off the validated palette in
+:mod:`repro.experiments.svg` so the explorer matches the repo's figures.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.report import Series
+from repro.experiments.svg import (
+    GRID,
+    INK_PRIMARY,
+    INK_SECONDARY,
+    PALETTE,
+    SURFACE,
+    render_chart_svg,
+)
+from repro.obs.attribution import (
+    PHASES,
+    RequestAttribution,
+    attribute_events,
+    attribution_summary,
+    slowest_requests,
+)
+from repro.obs.tracer import REQUEST_TRACK, TraceEvent
+
+#: Power-state lane colors (palette hues for the states that matter,
+#: recessive neutrals for the quiet ones).
+POWER_COLORS = {
+    "active": PALETTE[1],        # aqua: the arm is moving
+    "idle": GRID,                # recessive: spun up, nothing to do
+    "standby": "#cfcecb",        # darker neutral: spun down
+    "spinning_up": PALETTE[2],   # yellow: the RoLo-E wait culprit
+    "spinning_down": PALETTE[7], # orange
+    "failed": PALETTE[5],        # red
+}
+
+#: Attribution phase colors, aligned with the stacked request bars.
+PHASE_COLORS = {
+    "queue": PALETTE[0],
+    "spinup": PALETTE[2],
+    "interference": PALETTE[5],
+    "seek": PALETTE[4],
+    "rotation": PALETTE[6],
+    "transfer": PALETTE[1],
+}
+
+_LANE_H = 22
+_LANE_GAP = 6
+_GANTT_L = 120
+_GANTT_R = 24
+_GANTT_W = 960
+
+
+def _esc(text: Any) -> str:
+    return html.escape(str(text))
+
+
+def _collect(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    power: Dict[str, List[TraceEvent]] = {}
+    ops_by_rid: Dict[int, List[TraceEvent]] = {}
+    occupancy: Dict[str, List[Tuple[float, float]]] = {}
+    handoffs: List[TraceEvent] = []
+    cycles: List[TraceEvent] = []
+    t_end = 0.0
+    materialized: List[TraceEvent] = []
+    for event in events:
+        materialized.append(event)
+        t_end = max(t_end, event.ts + event.dur)
+        if event.category == "power":
+            power.setdefault(event.track, []).append(event)
+        elif event.category == "disk_op":
+            rid = event.attrs.get("rid")
+            if rid is not None:
+                ops_by_rid.setdefault(rid, []).append(event)
+        elif event.category == "rotation":
+            handoffs.append(event)
+        elif event.category == "cycle":
+            cycles.append(event)
+        elif (
+            event.kind == "counter"
+            and event.name.startswith("occupancy:")
+        ):
+            occupancy.setdefault(event.name[len("occupancy:"):], []).append(
+                (event.ts, float(event.attrs.get("value", 0.0)))
+            )
+    return {
+        "events": materialized,
+        "power": power,
+        "ops_by_rid": ops_by_rid,
+        "occupancy": occupancy,
+        "handoffs": handoffs,
+        "cycles": cycles,
+        "t_end": t_end if t_end > 0 else 1.0,
+    }
+
+
+def _gantt_svg(data: Dict[str, Any]) -> str:
+    disks = sorted(data["power"])
+    t_end = data["t_end"]
+    lanes = len(disks) + 1  # + the cycle strip
+    height = 40 + lanes * (_LANE_H + _LANE_GAP) + 28
+    span_w = _GANTT_W - _GANTT_L - _GANTT_R
+
+    def x_of(ts: float) -> float:
+        return _GANTT_L + (ts / t_end) * span_w
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_GANTT_W}" '
+        f'height="{height}" viewBox="0 0 {_GANTT_W} {height}" '
+        f'font-family="system-ui, sans-serif">',
+        f'<rect width="{_GANTT_W}" height="{height}" fill="{SURFACE}"/>',
+        f'<text x="{_GANTT_L}" y="20" font-size="14" font-weight="600" '
+        f'fill="{INK_PRIMARY}">Per-disk power states'
+        f' (0 → {t_end:.2f} s)</text>',
+    ]
+    # Cycle strip: logging vs destage windows on the controller track.
+    strip_y = 32
+    parts.append(
+        f'<text x="{_GANTT_L - 8}" y="{strip_y + 15}" font-size="11" '
+        f'text-anchor="end" fill="{INK_SECONDARY}">cycle</text>'
+    )
+    for cyc in data["cycles"]:
+        color = PALETTE[0] if cyc.name == "logging" else PALETTE[3]
+        x0, x1 = x_of(cyc.ts), x_of(cyc.ts + cyc.dur)
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{strip_y}" '
+            f'width="{max(1.0, x1 - x0):.1f}" height="{_LANE_H - 8}" '
+            f'rx="2" fill="{color}" opacity="0.55">'
+            f"<title>{_esc(cyc.name)} "
+            f"[{cyc.ts:.3f}, {cyc.ts + cyc.dur:.3f}]s</title></rect>"
+        )
+    # Disk lanes.
+    for lane, disk in enumerate(disks):
+        y = 32 + (lane + 1) * (_LANE_H + _LANE_GAP)
+        parts.append(
+            f'<text x="{_GANTT_L - 8}" y="{y + 15}" font-size="11" '
+            f'text-anchor="end" fill="{INK_SECONDARY}">{_esc(disk)}</text>'
+        )
+        for span in data["power"][disk]:
+            color = POWER_COLORS.get(span.name, GRID)
+            x0, x1 = x_of(span.ts), x_of(span.ts + span.dur)
+            parts.append(
+                f'<rect x="{x0:.1f}" y="{y}" '
+                f'width="{max(0.5, x1 - x0):.1f}" height="{_LANE_H}" '
+                f'fill="{color}">'
+                f"<title>{_esc(disk)} {_esc(span.name)} "
+                f"{span.dur:.3f}s</title></rect>"
+            )
+    # Rotation duty hand-offs: dashed markers across all lanes.
+    lane_top = 32
+    lane_bottom = 32 + lanes * (_LANE_H + _LANE_GAP)
+    for inst in data["handoffs"]:
+        x = x_of(inst.ts)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{lane_top}" x2="{x:.1f}" '
+            f'y2="{lane_bottom}" stroke="{INK_PRIMARY}" stroke-width="1" '
+            f'stroke-dasharray="3,3" opacity="0.6">'
+            f"<title>{_esc(inst.name)} @ {inst.ts:.3f}s</title></line>"
+        )
+    # Legend.
+    legend_y = lane_bottom + 16
+    x = _GANTT_L
+    for state, color in POWER_COLORS.items():
+        parts.append(
+            f'<rect x="{x}" y="{legend_y - 10}" width="12" height="12" '
+            f'rx="2" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 16}" y="{legend_y}" font-size="11" '
+            f'fill="{INK_PRIMARY}">{_esc(state)}</text>'
+        )
+        x += 16 + 8 * len(state) + 24
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _occupancy_svg(data: Dict[str, Any]) -> Optional[str]:
+    if not data["occupancy"]:
+        return None
+    series_list = []
+    for name in sorted(data["occupancy"]):
+        series = Series(
+            name=name,
+            x_label="time (s)",
+            y_label="log occupancy",
+        )
+        for ts, value in data["occupancy"][name]:
+            series.add(ts, value)
+        series_list.append(series)
+    # render_chart_svg caps series at the palette size; fold the rest.
+    series_list = series_list[: len(PALETTE)]
+    return render_chart_svg(series_list, "Log-space occupancy")
+
+
+def _phase_bar(attr: RequestAttribution, width: int = 640) -> str:
+    if attr.measured <= 0:
+        return ""
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="16" viewBox="0 0 {width} 16">'
+    ]
+    x = 0.0
+    for phase in PHASES:
+        frac = attr.phases[phase] / attr.measured
+        w = frac * width
+        if w <= 0:
+            continue
+        parts.append(
+            f'<rect x="{x:.1f}" y="0" width="{max(0.5, w):.1f}" '
+            f'height="16" fill="{PHASE_COLORS[phase]}">'
+            f"<title>{phase}: {attr.phases[phase] * 1e3:.3f} ms "
+            f"({frac:.1%})</title></rect>"
+        )
+        x += w
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _request_tree(
+    attr: RequestAttribution, ops: List[TraceEvent], width: int = 640
+) -> str:
+    """The request's ops drawn against its own [arrival, finish] base."""
+    lo = attr.arrival
+    span = max(attr.measured, 1e-9)
+    rows = []
+    for op in sorted(ops, key=lambda e: (e.ts, e.track)):
+        submit = op.ts - float(op.attrs.get("queued_s", 0.0))
+        qx = (submit - lo) / span * width
+        qw = (op.ts - submit) / span * width
+        sx = (op.ts - lo) / span * width
+        sw = op.dur / span * width
+        bar = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="12" viewBox="0 0 {width} 12">'
+            f'<rect x="{qx:.1f}" y="3" width="{max(0.5, qw):.1f}" '
+            f'height="6" fill="{GRID}">'
+            f"<title>queued {op.ts - submit:.4f}s</title></rect>"
+            f'<rect x="{sx:.1f}" y="1" width="{max(0.5, sw):.1f}" '
+            f'height="10" fill="{PALETTE[0]}">'
+            f"<title>service {op.dur:.4f}s</title></rect>"
+            f"</svg>"
+        )
+        rows.append(
+            "<tr>"
+            f'<td class="mono">{_esc(op.track)}</td>'
+            f'<td class="mono">{_esc(op.name)}</td>'
+            f"<td>{bar}</td>"
+            "</tr>"
+        )
+    return (
+        '<table class="ops"><thead><tr><th>disk</th><th>op</th>'
+        "<th>queue + service (request time base)</th></tr></thead>"
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+def _summary_table(summary: Dict[str, Any]) -> str:
+    if not summary.get("count"):
+        return "<p>No requests attributed.</p>"
+    head = "".join(f"<th>{_esc(p)}</th>" for p in PHASES)
+    rows = []
+    entries = [("mean", summary["mean"])]
+    entries.extend(sorted(summary["quantiles"].items()))
+    for label, entry in entries:
+        cells = "".join(
+            f"<td>{entry['fractions'][p]:.1%}</td>" for p in PHASES
+        )
+        rows.append(
+            f"<tr><td>{_esc(label)}</td>"
+            f"<td>{entry['latency_s'] * 1e3:.3f}</td>{cells}</tr>"
+        )
+    return (
+        "<table><thead><tr><th></th><th>latency (ms)</th>"
+        f"{head}</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def render_explorer_html(
+    events: Iterable[TraceEvent],
+    title: str = "RoLo timeline explorer",
+    top: int = 8,
+) -> str:
+    """Render the explorer document; ``top`` bounds the slowest-request
+    drill-down."""
+    data = _collect(events)
+    attributions = attribute_events(data["events"])
+    summary = attribution_summary(attributions)
+    worst = slowest_requests(attributions, top)
+
+    sections: List[str] = []
+    sections.append(f"<h2>Power-state timeline</h2>{_gantt_svg(data)}")
+    occupancy = _occupancy_svg(data)
+    if occupancy is not None:
+        sections.append(f"<h2>Log occupancy</h2>{occupancy}")
+    sections.append(
+        f"<h2>Latency attribution</h2>{_summary_table(summary)}"
+    )
+    if worst:
+        blocks = []
+        for attr in worst:
+            ops = data["ops_by_rid"].get(attr.rid, [])
+            culprit = (
+                f' — culprit: <span class="mono">{_esc(attr.culprit)}'
+                "</span>"
+                if attr.culprit
+                else ""
+            )
+            blocks.append(
+                '<div class="request">'
+                f"<h3>rid {attr.rid} · {_esc(attr.kind)} · "
+                f"{attr.measured * 1e3:.3f} ms{culprit}</h3>"
+                f"{_phase_bar(attr)}"
+                f"{_request_tree(attr, ops)}"
+                "</div>"
+            )
+        legend = " ".join(
+            f'<span style="color:{PHASE_COLORS[p]}">■</span> {p}'
+            for p in PHASES
+        )
+        sections.append(
+            f"<h2>{len(worst)} slowest requests</h2>"
+            f'<p class="legend">{legend}</p>' + "".join(blocks)
+        )
+
+    body = "\n".join(sections)
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{_esc(title)}</title>
+<style>
+body {{ font-family: system-ui, sans-serif; background: {SURFACE};
+       color: {INK_PRIMARY}; margin: 2rem auto; max-width: 64rem; }}
+h1 {{ font-size: 1.4rem; }}
+h2 {{ font-size: 1.1rem; margin-top: 2rem; }}
+h3 {{ font-size: 0.95rem; margin: 1rem 0 0.25rem; }}
+table {{ border-collapse: collapse; font-size: 0.85rem; }}
+th, td {{ border: 1px solid {GRID}; padding: 0.25rem 0.6rem;
+          text-align: right; }}
+th {{ background: {GRID}; }}
+td:first-child, th:first-child {{ text-align: left; }}
+.mono {{ font-family: ui-monospace, monospace; }}
+.legend {{ font-size: 0.85rem; color: {INK_SECONDARY}; }}
+.request {{ margin-bottom: 1rem; }}
+table.ops td, table.ops th {{ border: none; text-align: left;
+                              padding: 0.1rem 0.5rem; }}
+</style>
+</head>
+<body>
+<h1>{_esc(title)}</h1>
+{body}
+</body>
+</html>
+"""

@@ -19,11 +19,14 @@ works on both.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Iterator, List, Sequence
 
 from repro.obs.tracer import REQUEST_TRACK, TraceEvent
 
 _PID = 1
+
+#: Chrome flow-event phases (emitted by us, skipped by the reader).
+_FLOW_PHASES = ("s", "t", "f")
 
 
 def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
@@ -110,16 +113,61 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict:
                     "args": dict(event.attrs),
                 }
             )
+    out.extend(_flow_records(events, tids))
     return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def _flow_records(
+    events: Sequence[TraceEvent], tids: Dict[str, int]
+) -> List[Dict]:
+    """Flow events (``ph: "s"/"t"/"f"``) stitching a request's spans
+    together across disk tracks.
+
+    Every span carrying a ``rid`` attr (the request span plus its
+    constituent disk ops, from a span-traced run) joins that rid's flow;
+    rids touching fewer than two spans emit nothing — a flow needs both
+    ends.  Perfetto draws these as arrows from the request lane to each
+    disk that served part of it.
+    """
+    by_rid: Dict[int, List[TraceEvent]] = {}
+    for event in events:
+        if event.kind != "span":
+            continue
+        rid = event.attrs.get("rid")
+        if rid is not None:
+            by_rid.setdefault(rid, []).append(event)
+    out: List[Dict] = []
+    for rid in sorted(by_rid):
+        chain = by_rid[rid]
+        if len(chain) < 2:
+            continue
+        chain.sort(key=lambda e: (e.ts, e.track, e.name))
+        last = len(chain) - 1
+        for i, event in enumerate(chain):
+            ph = "s" if i == 0 else ("f" if i == last else "t")
+            record = {
+                "name": f"rid-{rid}",
+                "cat": "request_flow",
+                "ph": ph,
+                "id": rid,
+                "ts": event.ts * 1e6,
+                "pid": _PID,
+                "tid": tids[event.track],
+            }
+            if ph == "f":
+                record["bp"] = "e"  # bind to the enclosing slice
+            out.append(record)
+    return out
 
 
 def write_chrome_trace(events: Sequence[TraceEvent], path: str) -> int:
     """Write Chrome trace-event JSON; returns the event count (sans
-    metadata records)."""
+    metadata and flow records, which annotate rather than add events)."""
     doc = to_chrome_trace(events)
     with open(path, "w") as fh:
         json.dump(doc, fh)
-    return sum(1 for e in doc["traceEvents"] if e["ph"] != "M")
+    skip = set(_FLOW_PHASES) | {"M"}
+    return sum(1 for e in doc["traceEvents"] if e["ph"] not in skip)
 
 
 def _events_from_chrome(doc: Dict) -> List[TraceEvent]:
@@ -130,7 +178,7 @@ def _events_from_chrome(doc: Dict) -> List[TraceEvent]:
     events: List[TraceEvent] = []
     for record in doc.get("traceEvents", []):
         ph = record.get("ph")
-        if ph == "M":
+        if ph == "M" or ph in _FLOW_PHASES:
             continue
         track = names.get(int(record.get("tid", 0)), str(record.get("tid")))
         ts = float(record.get("ts", 0.0)) / 1e6
@@ -171,57 +219,116 @@ def _events_from_chrome(doc: Dict) -> List[TraceEvent]:
     return events
 
 
-def read_events(path: str) -> List[TraceEvent]:
-    """Load a saved trace, auto-detecting Chrome JSON vs JSONL.
+def read_events(path: str) -> Iterator[TraceEvent]:
+    """Stream a saved trace, auto-detecting Chrome JSON vs JSONL.
 
-    Both formats start with ``{``, so detection parses rather than
-    sniffs: a document that is one JSON object with a ``traceEvents``
-    key is Chrome format; anything else is treated as JSON Lines.
+    Returns a generator.  JSONL traces (the hot case for multi-million
+    event runs) are decoded line by line so summarizing never
+    materializes the file; only Chrome documents — a single JSON object
+    with a ``traceEvents`` key — fall back to a whole-file parse.
+    Detection reads just the first line: a line that parses to a
+    complete event dict means JSONL; a ``traceEvents`` wrapper or a
+    partial line (pretty-printed JSON) means Chrome.
     """
     with open(path) as fh:
-        text = fh.read()
+        first = fh.readline()
+        stripped = first.strip()
+        doc = None
+        if stripped:
+            try:
+                doc = json.loads(stripped)
+            except json.JSONDecodeError:
+                doc = None
+        if isinstance(doc, dict) and "traceEvents" not in doc and "ts" in doc:
+            # JSON Lines: stream the rest without buffering the file.
+            yield TraceEvent.from_dict(doc)
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield TraceEvent.from_dict(json.loads(line))
+            return
+        # Chrome trace (possibly pretty-printed): needs the whole document.
+        text = first + fh.read()
     try:
         doc = json.loads(text)
     except json.JSONDecodeError:
         doc = None
     if isinstance(doc, dict) and "traceEvents" in doc:
-        return _events_from_chrome(doc)
-    events = []
+        yield from _events_from_chrome(doc)
+        return
+    # Degenerate JSONL (e.g. an empty or comment-free fragment): fall back
+    # to line-wise decoding of what we buffered.
     for line in text.splitlines():
         line = line.strip()
         if line:
-            events.append(TraceEvent.from_dict(json.loads(line)))
-    return events
+            yield TraceEvent.from_dict(json.loads(line))
 
 
 # ----------------------------------------------------------------------
 # Summaries (``rolo trace summarize``)
 # ----------------------------------------------------------------------
-def summarize_events(events: Sequence[TraceEvent]) -> str:
-    """Human-readable cycle/rotation timeline plus per-category totals."""
+def summarize_events(events: Iterable[TraceEvent]) -> str:
+    """Human-readable cycle/rotation timeline plus per-category totals.
+
+    Single pass over any iterable (including the :func:`read_events`
+    generator), so multi-million-event JSONL traces summarize in O(1)
+    memory: only the aggregates and the (small) controller timeline are
+    retained.  Span-traced runs additionally report phase totals —
+    queue / seek / rotation / transfer seconds summed across disk ops.
+    """
     lines: List[str] = []
     counts: Dict[str, int] = {}
+    total = 0
+    ts_lo = ts_hi = None
+    residency: Dict[str, Dict[str, float]] = {}
+    phase_totals = {
+        "queued": 0.0, "seek": 0.0, "rotation": 0.0, "transfer": 0.0
+    }
+    phased_ops = 0
+    timeline: List[TraceEvent] = []
     for event in events:
+        total += 1
         counts[event.category] = counts.get(event.category, 0) + 1
-    span = (
-        max((e.ts + e.dur for e in events), default=0.0)
-        - min((e.ts for e in events), default=0.0)
-    )
+        end = event.ts + event.dur
+        ts_lo = event.ts if ts_lo is None else min(ts_lo, event.ts)
+        ts_hi = end if ts_hi is None else max(ts_hi, end)
+        if event.kind == "span":
+            if event.category == "power":
+                states = residency.setdefault(event.track, {})
+                states[event.name] = states.get(event.name, 0.0) + event.dur
+            elif event.category == "disk_op" and "seek_s" in event.attrs:
+                attrs = event.attrs
+                phase_totals["queued"] += float(attrs.get("queued_s", 0.0))
+                phase_totals["seek"] += float(attrs.get("seek_s", 0.0))
+                phase_totals["rotation"] += float(attrs.get("rot_s", 0.0))
+                phase_totals["transfer"] += float(
+                    attrs.get("transfer_s", 0.0)
+                )
+                phased_ops += 1
+        if event.category in (
+            "rotation", "destage", "cycle", "deactivation"
+        ):
+            timeline.append(event)
+    span = (ts_hi - ts_lo) if ts_lo is not None else 0.0
     lines.append(
-        f"trace: {len(events)} events over {span:.3f}s virtual time"
+        f"trace: {total} events over {span:.3f}s virtual time"
     )
     lines.append("events by category:")
     for category in sorted(counts):
         lines.append(f"  {category:10s} {counts[category]}")
 
-    # Power-state residency per disk track.
-    residency: Dict[str, Dict[str, float]] = {}
-    for event in events:
-        if event.category == "power" and event.kind == "span":
-            residency.setdefault(event.track, {})
-            residency[event.track][event.name] = (
-                residency[event.track].get(event.name, 0.0) + event.dur
+    if phased_ops:
+        lines.append(
+            f"span phases over {phased_ops} disk ops (seconds):"
+        )
+        lines.append(
+            "  "
+            + " ".join(
+                f"{name}={phase_totals[name]:.3f}"
+                for name in ("queued", "seek", "rotation", "transfer")
             )
+        )
+
     if residency:
         lines.append("power-state residency (seconds):")
         for track in sorted(residency):
@@ -231,12 +338,7 @@ def summarize_events(events: Sequence[TraceEvent]) -> str:
             )
             lines.append(f"  {track:8s} {parts}")
 
-    # Chronological controller timeline.
-    timeline = [
-        e
-        for e in events
-        if e.category in ("rotation", "destage", "cycle", "deactivation")
-    ]
+    # Chronological controller timeline (collected in the single pass).
     timeline.sort(key=lambda e: (e.ts, e.category, e.name))
     if timeline:
         lines.append("cycle/rotation timeline:")

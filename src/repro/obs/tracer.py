@@ -81,11 +81,25 @@ class Tracer:
 
     enabled = True
 
+    #: When true, disks bind their span-aware completion path
+    #: (``Disk._complete_spanned``) at construction/selection time and
+    #: report per-phase service decompositions through
+    #: ``disk_op_phases``.  Plain tracers leave this false and keep the
+    #: cheaper observed path.
+    wants_phases = False
+
     # -- request lifecycle ------------------------------------------------
     def request_arrived(
         self, rid: int, kind: str, offset: int, nbytes: int, ts: float
     ) -> None:
         """An array-level request entered the controller."""
+
+    def request_admitted(self, rid: int, request: object) -> None:
+        """The controller admitted ``request`` (the live
+        :class:`~repro.raid.request.IORequest` object) under id ``rid``.
+
+        Span-aware tracers use this to link later disk-op completions back
+        to the owning request; plain recorders ignore it."""
 
     def request_completed(self, rid: int, ts: float) -> None:
         """The request's last constituent disk operation finished."""
@@ -103,6 +117,31 @@ class Tracer:
         finish_ts: float,
     ) -> None:
         """One disk operation completed (queueing + service span known)."""
+
+    def disk_op_phases(
+        self,
+        disk: str,
+        kind: str,
+        priority: str,
+        sector: int,
+        nbytes: int,
+        submit_ts: float,
+        start_ts: float,
+        finish_ts: float,
+        seek_s: float,
+        rot_s: float,
+        transfer_s: float,
+        op: object,
+    ) -> None:
+        """One disk operation completed, with its service interval
+        decomposed into mechanical phases (``seek + rot + transfer`` equals
+        ``finish_ts - start_ts`` exactly) and the live op for causal owner
+        resolution.  Only reached when :attr:`wants_phases` is true; the
+        default forwards to :meth:`disk_op`, dropping the extras."""
+        self.disk_op(
+            disk, kind, priority, sector, nbytes,
+            submit_ts, start_ts, finish_ts,
+        )
 
     def power_state(
         self, disk: str, old: Optional[str], new: str, ts: float

@@ -32,6 +32,7 @@ def test_scenario_names_are_pinned():
         "overhead:traced",
         "overhead:metered",
         "overhead:verified",
+        "overhead:spanned",
         "sweep:matrix-full:jobs1",
         "sweep:matrix-full:jobs2",
         "sweep:matrix-full:jobs4",

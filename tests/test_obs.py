@@ -155,13 +155,14 @@ class TestExporters:
         events = _sample_events()
         path = str(tmp_path / "trace.jsonl")
         assert write_jsonl(events, path) == len(events)
-        assert read_events(path) == events
+        # read_events streams lazily; materialize to compare.
+        assert list(read_events(path)) == events
 
     def test_chrome_round_trip(self, tmp_path):
         events = _sample_events()
         path = str(tmp_path / "trace.json")
         assert write_chrome_trace(events, path) == len(events)
-        loaded = read_events(path)
+        loaded = list(read_events(path))
         assert [(e.kind, e.category, e.name, e.track) for e in loaded] == [
             (e.kind, e.category, e.name, e.track) for e in events
         ]
@@ -376,7 +377,7 @@ class TestObservedRoloRun:
         with open(path) as fh:
             doc = json.load(fh)
         assert "traceEvents" in doc
-        assert read_events(path)
+        assert list(read_events(path))
         text = summarize_events(read_events(path))
         assert "rotation" in text
 
